@@ -1,0 +1,80 @@
+//! CSMA/CA channel benchmarks: contended and staggered traffic, plus the
+//! broadcast-vs-unicast ablation behind the paper's typed-broadcast
+//! design choice (one broadcast serves all consumers; unicast would
+//! transmit the same sample once per consumer).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use bz_simcore::{Rng, SimDuration, SimTime};
+use bz_wsn::channel::{Network, NetworkConfig};
+use bz_wsn::message::{DataType, Message, NodeId};
+
+fn run_traffic(stagger_ms: u64, copies_per_sample: u64) -> f64 {
+    let mut network = Network::new(NetworkConfig::telosb(), Rng::seed_from(1));
+    for round in 0..50u64 {
+        for node in 0..20u64 {
+            let t = SimTime::from_millis(round * 200 + node * stagger_ms);
+            for copy in 0..copies_per_sample {
+                let msg = Message::on_channel(
+                    NodeId::new(node as u16),
+                    DataType::Temperature,
+                    copy as u16,
+                    25.0,
+                    t,
+                );
+                network.send(t + SimDuration::from_millis(copy), msg);
+            }
+        }
+    }
+    let _ = network.advance(SimTime::from_secs(60));
+    network.stats().delivery_ratio()
+}
+
+fn bench_contended(c: &mut Criterion) {
+    c.bench_function("channel/contended_1k_frames", |b| {
+        b.iter(|| black_box(run_traffic(0, 1)));
+    });
+}
+
+fn bench_staggered(c: &mut Criterion) {
+    c.bench_function("channel/staggered_1k_frames", |b| {
+        b.iter(|| black_box(run_traffic(9, 1)));
+    });
+}
+
+fn bench_broadcast_vs_unicast(c: &mut Criterion) {
+    // Typed broadcast: 1 frame per sample. Unicast to 4 consumers: 4
+    // frames per sample — 4× the airtime and contention.
+    let mut group = c.benchmark_group("channel/fanout");
+    group.bench_function("broadcast", |b| {
+        b.iter(|| black_box(run_traffic(9, 1)));
+    });
+    group.bench_function("unicast_x4", |b| {
+        b.iter(|| black_box(run_traffic(9, 4)));
+    });
+    group.finish();
+}
+
+fn bench_send_path(c: &mut Criterion) {
+    c.bench_function("channel/single_send_advance", |b| {
+        b.iter_batched(
+            || Network::new(NetworkConfig::telosb(), Rng::seed_from(2)),
+            |mut network| {
+                let msg = Message::new(NodeId::new(1), DataType::Humidity, 55.0, SimTime::ZERO);
+                network.send(SimTime::ZERO, msg);
+                black_box(network.advance(SimTime::from_millis(20)))
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_contended,
+    bench_staggered,
+    bench_broadcast_vs_unicast,
+    bench_send_path
+);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Algorithm 1 benchmarks: the histogram clustering across N (the
+//! host-side cost whose MSP430 equivalent Fig. 12(c) reports), and the
+//! exact-clustering oracle it approximates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bz_simcore::Rng;
+use bz_wsn::histogram::{ExactClusterer, VarianceHistogram};
+
+/// A realistic bimodal variance stream (stable noise + event bursts).
+fn variance_stream(len: usize) -> Vec<f64> {
+    let mut rng = Rng::seed_from(42);
+    (0..len)
+        .map(|i| {
+            if i % 97 == 0 {
+                rng.uniform(5.0, 25.0)
+            } else {
+                rng.uniform(1.0e-5, 8.0e-4)
+            }
+        })
+        .collect()
+}
+
+fn bench_threshold_by_n(c: &mut Criterion) {
+    let stream = variance_stream(2_000);
+    let mut group = c.benchmark_group("histogram/threshold");
+    for n in [10usize, 20, 40, 60] {
+        let mut histogram = VarianceHistogram::new(n);
+        for &v in &stream {
+            histogram.observe(v);
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(n), &histogram, |b, h| {
+            b.iter(|| black_box(h.threshold()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_observe(c: &mut Criterion) {
+    let stream = variance_stream(2_000);
+    c.bench_function("histogram/observe_2k", |b| {
+        b.iter(|| {
+            let mut histogram = VarianceHistogram::new(40);
+            for &v in &stream {
+                histogram.observe(v);
+            }
+            black_box(histogram.observed())
+        });
+    });
+}
+
+fn bench_oracle(c: &mut Criterion) {
+    let stream = variance_stream(2_000);
+    let mut oracle = ExactClusterer::new();
+    for &v in &stream {
+        oracle.observe(v);
+    }
+    c.bench_function("histogram/oracle_threshold_2k", |b| {
+        b.iter(|| black_box(oracle.threshold()));
+    });
+}
+
+criterion_group!(benches, bench_threshold_by_n, bench_observe, bench_oracle);
+criterion_main!(benches);

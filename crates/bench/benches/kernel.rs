@@ -1,0 +1,56 @@
+//! Simulation-kernel microbenchmarks: event queue, RNG, sliding window.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use bz_simcore::stats::SlidingWindow;
+use bz_simcore::{EventQueue, Rng, SimTime};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("kernel/event_queue_push_pop_1k", |b| {
+        b.iter_batched(
+            EventQueue::new,
+            |mut queue| {
+                for i in 0..1_000u64 {
+                    queue.schedule(SimTime::from_millis(i * 7 % 500), i);
+                }
+                while let Some(item) = queue.pop() {
+                    black_box(item);
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_rng(c: &mut Criterion) {
+    c.bench_function("kernel/rng_normal_1k", |b| {
+        let mut rng = Rng::seed_from(7);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..1_000 {
+                acc += rng.normal(0.0, 1.0);
+            }
+            black_box(acc)
+        });
+    });
+}
+
+fn bench_sliding_window(c: &mut Criterion) {
+    c.bench_function("kernel/sliding_window_variance_1k", |b| {
+        let mut window = SlidingWindow::new(10);
+        let mut x = 0.0f64;
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..1_000 {
+                x += 0.1;
+                window.push(x.sin());
+                acc += window.variance().unwrap_or(0.0);
+            }
+            black_box(acc)
+        });
+    });
+}
+
+criterion_group!(benches, bench_event_queue, bench_rng, bench_sliding_window);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Multi-hop routing benchmarks: BFS tree construction and multicast
+//! pruning at building scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bz_wsn::message::{DataType, NodeId};
+use bz_wsn::multihop::MultihopNetwork;
+
+fn building(wings: u16) -> MultihopNetwork {
+    let mut net = MultihopNetwork::new(20.0);
+    let mut id = 0u16;
+    for wing in 0..wings {
+        for row in 0..3u16 {
+            for col in 0..4u16 {
+                net.place(
+                    NodeId::new(id),
+                    f64::from(col) * 12.0,
+                    f64::from(wing) * 40.0 + f64::from(row) * 12.0,
+                );
+                if row == 1 && col == 2 {
+                    net.subscribe(NodeId::new(id), DataType::Temperature);
+                }
+                id += 1;
+            }
+        }
+    }
+    net
+}
+
+fn bench_multicast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multihop/multicast");
+    for wings in [2u16, 5, 10] {
+        let net = building(wings);
+        group.bench_with_input(BenchmarkId::from_parameter(wings), &net, |b, net| {
+            b.iter(|| black_box(net.multicast(NodeId::new(0), DataType::Temperature)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_flood(c: &mut Criterion) {
+    let net = building(5);
+    c.bench_function("multihop/flood_5_wings", |b| {
+        b.iter(|| black_box(net.flood(NodeId::new(0))));
+    });
+}
+
+criterion_group!(benches, bench_multicast, bench_flood);
+criterion_main!(benches);

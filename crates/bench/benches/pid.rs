@@ -1,0 +1,34 @@
+//! PID-controller step microbenchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bz_core::pid::{Pid, PidConfig};
+
+fn bench_pid_step(c: &mut Criterion) {
+    c.bench_function("pid/step", |b| {
+        let mut pid = Pid::new(PidConfig::new(0.25, 0.03, 0.01, 0.0, 5.0));
+        let mut error = 3.0f64;
+        b.iter(|| {
+            error = -error * 0.99;
+            black_box(pid.step(black_box(error), 5.0))
+        });
+    });
+}
+
+fn bench_pid_closed_loop(c: &mut Criterion) {
+    c.bench_function("pid/closed_loop_1k_steps", |b| {
+        b.iter(|| {
+            let mut pid = Pid::new(PidConfig::new(2.0, 0.25, 0.0, 0.0, 10.0));
+            let mut x = 0.0;
+            for _ in 0..1_000 {
+                let u = pid.step(5.0 - x, 1.0);
+                x += (u - x) / 20.0;
+            }
+            black_box(x)
+        });
+    });
+}
+
+criterion_group!(benches, bench_pid_step, bench_pid_closed_loop);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Psychrometric property-function microbenchmarks — these run inside
+//! every zone step and sensor read, so they must stay cheap.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bz_psychro::{
+    dew_point, humidity_ratio_from_rh, moist_air_enthalpy, relative_humidity_from_humidity_ratio,
+    Celsius, KgPerKg, Percent,
+};
+
+fn bench_dew_point(c: &mut Criterion) {
+    c.bench_function("psychro/dew_point", |b| {
+        b.iter(|| dew_point(black_box(Celsius::new(25.0)), black_box(Percent::new(65.0))))
+    });
+}
+
+fn bench_humidity_ratio(c: &mut Criterion) {
+    c.bench_function("psychro/humidity_ratio_from_rh", |b| {
+        b.iter(|| {
+            humidity_ratio_from_rh(black_box(Celsius::new(28.9)), black_box(Percent::new(92.0)))
+        })
+    });
+}
+
+fn bench_rh_from_ratio(c: &mut Criterion) {
+    c.bench_function("psychro/rh_from_humidity_ratio", |b| {
+        b.iter(|| {
+            relative_humidity_from_humidity_ratio(
+                black_box(Celsius::new(25.0)),
+                black_box(KgPerKg::new(0.013)),
+            )
+        })
+    });
+}
+
+fn bench_enthalpy(c: &mut Criterion) {
+    c.bench_function("psychro/moist_air_enthalpy", |b| {
+        b.iter(|| {
+            moist_air_enthalpy(
+                black_box(Celsius::new(28.9)),
+                black_box(KgPerKg::new(0.0233)),
+            )
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_dew_point,
+    bench_humidity_ratio,
+    bench_rh_from_ratio,
+    bench_enthalpy
+);
+criterion_main!(benches);

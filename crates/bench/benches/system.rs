@@ -1,0 +1,78 @@
+//! Full-system benchmarks: one plant step, one closed-loop second, and a
+//! complete simulated minute of the deployed system.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use bz_core::system::{BubbleZeroSystem, SystemConfig};
+use bz_psychro::Volts;
+use bz_simcore::SimDuration;
+use bz_thermal::airbox::FanLevel;
+use bz_thermal::plant::{
+    ActuatorCommands, AirboxActuation, PlantConfig, RadiantLoopCommand, ThermalPlant,
+};
+
+fn active_commands() -> ActuatorCommands {
+    ActuatorCommands {
+        radiant: [RadiantLoopCommand {
+            supply_voltage: Volts::new(3.0),
+            recycle_voltage: Volts::new(2.0),
+        }; 2],
+        airboxes: [AirboxActuation {
+            coil_pump_voltage: Volts::new(3.5),
+            fan: FanLevel::L3,
+            flap_open: true,
+        }; 4],
+    }
+}
+
+fn bench_plant_step(c: &mut Criterion) {
+    c.bench_function("system/plant_step_1s", |b| {
+        let mut plant = ThermalPlant::new(PlantConfig::bubble_zero_lab());
+        let commands = active_commands();
+        b.iter(|| {
+            plant.step(SimDuration::from_secs(1), &commands);
+            black_box(plant.now())
+        });
+    });
+}
+
+fn bench_closed_loop_second(c: &mut Criterion) {
+    c.bench_function("system/closed_loop_second", |b| {
+        let mut system = BubbleZeroSystem::new(SystemConfig::paper_deployment(
+            PlantConfig::bubble_zero_lab(),
+        ));
+        b.iter(|| {
+            system.step_second();
+            black_box(system.now())
+        });
+    });
+}
+
+fn bench_closed_loop_minute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("system/closed_loop_minute");
+    group.sample_size(10);
+    group.bench_function("fresh_system", |b| {
+        b.iter_batched(
+            || {
+                BubbleZeroSystem::new(SystemConfig::paper_deployment(
+                    PlantConfig::bubble_zero_lab(),
+                ))
+            },
+            |mut system| {
+                system.run_seconds(60);
+                black_box(system.now())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_plant_step,
+    bench_closed_loop_second,
+    bench_closed_loop_minute
+);
+criterion_main!(benches);

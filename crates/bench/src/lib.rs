@@ -1,0 +1,53 @@
+//! Shared harness utilities for the figure-regeneration binaries.
+//!
+//! Each `fig1x` binary reruns the corresponding experiment of the paper's
+//! §V evaluation, prints the paper's rows/series to stdout, and writes the
+//! full series as CSV under [`output_dir`] for plotting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs;
+use std::path::PathBuf;
+
+/// Directory figure CSVs are written to: `$BZ_FIG_OUT` or
+/// `target/figures`. Created on first use.
+///
+/// # Panics
+///
+/// Panics if the directory cannot be created.
+#[must_use]
+pub fn output_dir() -> PathBuf {
+    let dir = std::env::var_os("BZ_FIG_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/figures"));
+    fs::create_dir_all(&dir).expect("create figure output directory");
+    dir
+}
+
+/// Prints a section header in a consistent style.
+pub fn header(title: &str) {
+    println!();
+    println!("=== {title} ===");
+}
+
+/// Prints one `label: value` row, aligned.
+pub fn row(label: &str, value: impl std::fmt::Display) {
+    println!("  {label:<46} {value}");
+}
+
+/// Prints a paper-vs-measured comparison row.
+pub fn compare(label: &str, paper: impl std::fmt::Display, measured: impl std::fmt::Display) {
+    println!("  {label:<38} paper: {paper:<12} measured: {measured}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_dir_is_created() {
+        let dir = output_dir();
+        assert!(dir.is_dir());
+    }
+}

@@ -1,0 +1,449 @@
+//! `bzctl` subcommand implementations.
+
+use std::fs::File;
+
+use bz_core::baseline::{AirConConfig, AirConSystem};
+use bz_core::metrics::CopSummary;
+use bz_core::scenario::{NetworkTrial, TRIAL_START_HOUR};
+use bz_core::system::{BtMode, BubbleZeroSystem, SystemConfig};
+use bz_psychro::{Celsius, Ppm};
+use bz_simcore::{SimDuration, TraceRecorder};
+use bz_thermal::comfort::{pmv, ppd, ComfortInputs};
+use bz_thermal::disturbance::DisturbanceSchedule;
+use bz_thermal::plant::PlantConfig;
+use bz_thermal::zone::SubspaceId;
+use bz_wsn::message::{DataType, NodeId};
+use bz_wsn::multihop::MultihopNetwork;
+
+use crate::args::{ArgError, Args};
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+bzctl — drive the BubbleZERO reproduction from the shell
+
+USAGE:
+    bzctl <command> [flags]
+
+COMMANDS:
+    trial      run the closed-loop afternoon trial
+                 --minutes N (105)  --seed S  --csv PATH  --quiet
+    cop        steady-state COP comparison vs the AirCon baseline
+                 --settle-mins N (40)  --meter-mins N (20)
+    network    run the wireless networking trial
+                 --minutes N (300)  --fixed
+    comfort    PMV/PPD report for a room condition
+                 --temp T (25)  --dew D (18)  --panel P (22)
+    multihop   building-scale multicast planning
+                 --wings N (3)  --range M (20)
+    sniff      run with a sniffer attached and dump the capture
+                 --minutes N (10)  --csv PATH
+    endurance  long continuous run with periodic events
+                 --days N (1)
+    help       print this text
+";
+
+/// Runs a subcommand; returns the text to print or a usage error.
+///
+/// # Errors
+///
+/// Returns an error for unknown commands, unknown flags, or unparsable
+/// flag values.
+pub fn run(command: &str, raw: Vec<String>) -> Result<String, ArgError> {
+    let args = Args::parse(raw)?;
+    match command {
+        "trial" => trial(&args),
+        "cop" => cop(&args),
+        "network" => network(&args),
+        "comfort" => comfort(&args),
+        "multihop" => multihop(&args),
+        "sniff" => sniff(&args),
+        "endurance" => endurance(&args),
+        "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
+        other => Err(ArgError::new(format!(
+            "unknown command '{other}'\n\n{USAGE}"
+        ))),
+    }
+}
+
+fn trial(args: &Args) -> Result<String, ArgError> {
+    args.expect_only(&["minutes", "seed", "csv", "quiet"])?;
+    let minutes: u64 = args.get_or("minutes", 105)?;
+    let seed: u64 = args.get_or("seed", 0x5EED_0001)?;
+    let quiet = args.flag("quiet");
+
+    let plant = PlantConfig::bubble_zero_lab()
+        .with_seed(seed ^ 0x9E37)
+        .with_disturbances(DisturbanceSchedule::figure10_afternoon());
+    let config = SystemConfig {
+        seed,
+        ..SystemConfig::paper_deployment(plant)
+    };
+    let mut system = BubbleZeroSystem::new(config);
+    let mut trace = TraceRecorder::new();
+    let mut out = String::new();
+    for minute in 1..=minutes {
+        system.run_seconds(60);
+        let plant = system.plant();
+        for id in SubspaceId::ALL {
+            trace.record(
+                &format!("{}.temperature", id.label()),
+                system.now(),
+                plant.zone_temperature(id).get(),
+            );
+            trace.record(
+                &format!("{}.dew_point", id.label()),
+                system.now(),
+                plant.zone_dew_point(id).get(),
+            );
+        }
+        if !quiet && minute % 10 == 0 {
+            out += &format!(
+                "{}  T1={:.2} °C  dew1={:.2} °C  radiant={:.0} W  vent={:.0} W\n",
+                system.now().as_clock_label(TRIAL_START_HOUR),
+                plant.zone_temperature(SubspaceId::S1).get(),
+                plant.zone_dew_point(SubspaceId::S1).get(),
+                plant.telemetry().radiant_heat_removed_w,
+                plant.telemetry().vent_heat_removed_w,
+            );
+        }
+    }
+    let plant = system.plant();
+    out += &format!(
+        "\nfinal: T1 {:.2} °C, dew1 {:.2} °C, condensate {:.6} kg, delivery {:.1}%\n",
+        plant.zone_temperature(SubspaceId::S1).get(),
+        plant.zone_dew_point(SubspaceId::S1).get(),
+        plant.panel_condensate_total(),
+        100.0 * system.network().stats().delivery_ratio(),
+    );
+    if let Some(path) = args.get("csv") {
+        let names: Vec<String> = SubspaceId::ALL
+            .iter()
+            .flat_map(|id| {
+                [
+                    format!("{}.temperature", id.label()),
+                    format!("{}.dew_point", id.label()),
+                ]
+            })
+            .collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let file =
+            File::create(path).map_err(|e| ArgError::new(format!("cannot create {path}: {e}")))?;
+        trace
+            .write_wide_csv(&refs, file)
+            .map_err(|e| ArgError::new(format!("cannot write {path}: {e}")))?;
+        out += &format!("series written to {path}\n");
+    }
+    Ok(out)
+}
+
+fn cop(args: &Args) -> Result<String, ArgError> {
+    args.expect_only(&["settle-mins", "meter-mins"])?;
+    let settle: u64 = args.get_or("settle-mins", 40)?;
+    let meter: u64 = args.get_or("meter-mins", 20)?;
+
+    let mut system = BubbleZeroSystem::new(SystemConfig::paper_deployment(
+        PlantConfig::bubble_zero_lab(),
+    ));
+    system.run_seconds(settle * 60);
+    system.plant_mut_reset_meters();
+    system.run_seconds(meter * 60);
+    let summary = CopSummary::from_meters(system.plant().meters());
+
+    let mut aircon = AirConSystem::new(AirConConfig::for_bubble_zero_lab());
+    aircon.run_seconds(settle * 60);
+    aircon.reset_meters();
+    aircon.run_seconds(meter * 60);
+    let aircon_cop = aircon.measured_cop().unwrap_or(f64::NAN);
+
+    Ok(format!(
+        "COP over a {meter}-minute window after {settle} minutes of settling:\n\
+         \n\
+         AirCon (all-air baseline)   {aircon_cop:>6.2}\n\
+         Bubble-C (radiant)          {:>6.2}\n\
+         Bubble-V (ventilation)      {:>6.2}\n\
+         BubbleZERO (overall)        {:>6.2}\n\
+         improvement over AirCon     {:>6.1}%\n",
+        summary.cop_radiant(),
+        summary.cop_ventilation(),
+        summary.cop_overall(),
+        100.0 * summary.improvement_over(aircon_cop),
+    ))
+}
+
+fn network(args: &Args) -> Result<String, ArgError> {
+    args.expect_only(&["minutes", "fixed"])?;
+    let minutes: u64 = args.get_or("minutes", 300)?;
+    let mode = if args.flag("fixed") {
+        BtMode::Fixed
+    } else {
+        BtMode::Adaptive
+    };
+    let outcome = NetworkTrial::with_mode(mode)
+        .with_duration(SimDuration::from_mins(minutes))
+        .run();
+    let tx: u64 = outcome.reports.iter().map(|r| r.transmissions).sum();
+    let samples: u64 = outcome.reports.iter().map(|r| r.samples).sum();
+    let lifetimes: Vec<f64> = outcome
+        .reports
+        .iter()
+        .filter_map(|r| r.lifetime_years)
+        .collect();
+    let mean_life = lifetimes.iter().sum::<f64>() / lifetimes.len().max(1) as f64;
+    let mut out = format!(
+        "{minutes}-minute networking trial ({mode:?} battery mode):\n\
+         packets {tx} of {samples} samples, delivery {:.1}%, mean MAC delay {:.1} ms\n\
+         mean projected device lifetime {mean_life:.2} years\n",
+        100.0 * outcome.channel.delivery_ratio(),
+        outcome.channel.mean_delay_ms(),
+    );
+    if mode == BtMode::Adaptive {
+        let periods = outcome.send_periods_s(DataType::Temperature);
+        if !periods.is_empty() {
+            let mean = periods.iter().sum::<f64>() / periods.len() as f64;
+            out += &format!("mean temperature send period {mean:.1} s\n");
+        }
+    }
+    Ok(out)
+}
+
+fn comfort(args: &Args) -> Result<String, ArgError> {
+    args.expect_only(&["temp", "dew", "panel"])?;
+    let temp: f64 = args.get_or("temp", 25.0)?;
+    let dew: f64 = args.get_or("dew", 18.0)?;
+    let panel: f64 = args.get_or("panel", 22.0)?;
+    if dew >= temp {
+        return Err(ArgError::new(format!(
+            "--dew {dew} must be below --temp {temp}"
+        )));
+    }
+
+    let zone = bz_thermal::zone::AirState::from_dew_point(
+        Celsius::new(temp),
+        Celsius::new(dew),
+        Ppm::new(600.0),
+    );
+    let radiant = ComfortInputs::for_radiant_zone(zone, Celsius::new(panel), 0.25);
+    let all_air = ComfortInputs::tropical_office(
+        zone.temperature,
+        zone.temperature,
+        zone.relative_humidity(),
+    );
+    let vote_radiant = pmv(&radiant);
+    let vote_all_air = pmv(&all_air);
+    Ok(format!(
+        "comfort at {temp} °C / {dew} °C dew (panel surface {panel} °C):\n\
+         radiant ceiling:  PMV {vote_radiant:+.2}  PPD {:.1}%\n\
+         all-air (no MRT benefit): PMV {vote_all_air:+.2}  PPD {:.1}%\n\
+         radiant advantage: {:.2} PMV\n",
+        ppd(vote_radiant),
+        ppd(vote_all_air),
+        vote_all_air - vote_radiant,
+    ))
+}
+
+fn multihop(args: &Args) -> Result<String, ArgError> {
+    args.expect_only(&["wings", "range"])?;
+    let wings: u16 = args.get_or("wings", 3)?;
+    let range: f64 = args.get_or("range", 20.0)?;
+    if wings == 0 || range <= 0.0 {
+        return Err(ArgError::new("--wings and --range must be positive"));
+    }
+
+    let mut net = MultihopNetwork::new(range);
+    let mut id = 0u16;
+    let mut controllers = Vec::new();
+    for wing in 0..wings {
+        for row in 0..3u16 {
+            for col in 0..4u16 {
+                let node = NodeId::new(id);
+                net.place(
+                    node,
+                    f64::from(col) * 12.0,
+                    f64::from(wing) * 40.0 + f64::from(row) * 12.0,
+                );
+                if row == 1 && col == 2 {
+                    controllers.push(node);
+                }
+                id += 1;
+            }
+        }
+    }
+    for &controller in &controllers {
+        net.subscribe(controller, DataType::Temperature);
+    }
+    let source = NodeId::new(0);
+    let multicast = net
+        .multicast(source, DataType::Temperature)
+        .expect("source placed");
+    let (flood_tx, radius) = net.flood(source).expect("source placed");
+    Ok(format!(
+        "{} motes across {wings} wings, connected = {}\n\
+         multicast from the corner: {} transmissions, {} max hops, {} reached, {} unreachable\n\
+         flooding baseline: {flood_tx} transmissions, network radius {radius}\n",
+        net.len(),
+        net.is_connected(),
+        multicast.transmissions,
+        multicast.max_hops,
+        multicast.reached.len(),
+        multicast.unreachable.len(),
+    ))
+}
+
+fn sniff(args: &Args) -> Result<String, ArgError> {
+    args.expect_only(&["minutes", "csv"])?;
+    let minutes: u64 = args.get_or("minutes", 10)?;
+    let config = SystemConfig {
+        enable_sniffer: true,
+        ..SystemConfig::paper_deployment(PlantConfig::bubble_zero_lab())
+    };
+    let mut system = BubbleZeroSystem::new(config);
+    system.run_seconds(minutes * 60);
+    let sniffer = system.sniffer().expect("sniffer enabled");
+
+    let mut out = format!(
+        "sniffer capture over {minutes} minutes: {} packets, mean MAC delay {:.1} ms
+
+traffic by type:
+",
+        sniffer.len(),
+        sniffer.mean_delay_ms().unwrap_or(0.0),
+    );
+    let mut traffic: Vec<_> = sniffer.traffic_by_type().into_iter().collect();
+    traffic.sort_by_key(|(_, count)| std::cmp::Reverse(*count));
+    for (data_type, count) in traffic {
+        out += &format!(
+            "  {data_type:<22} {count}
+"
+        );
+    }
+    let summaries = sniffer.stream_summaries();
+    out += &format!(
+        "
+{} distinct streams captured
+",
+        summaries.len()
+    );
+
+    if let Some(path) = args.get("csv") {
+        let file =
+            File::create(path).map_err(|e| ArgError::new(format!("cannot create {path}: {e}")))?;
+        sniffer
+            .write_csv(file)
+            .map_err(|e| ArgError::new(format!("cannot write {path}: {e}")))?;
+        out += &format!(
+            "capture written to {path}
+"
+        );
+    }
+    Ok(out)
+}
+
+fn endurance(args: &Args) -> Result<String, ArgError> {
+    args.expect_only(&["days"])?;
+    let days: u64 = args.get_or("days", 1)?;
+    if days == 0 || days > 30 {
+        return Err(ArgError::new("--days must be between 1 and 30"));
+    }
+    let duration = SimDuration::from_hours(days * 24);
+    let mut rng = bz_simcore::Rng::seed_from(0x7DA7);
+    let plant = PlantConfig::bubble_zero_lab()
+        .with_disturbances(DisturbanceSchedule::periodic_events(duration, &mut rng));
+    let mut system = BubbleZeroSystem::new(SystemConfig::paper_deployment(plant));
+    let mut out = String::new();
+    for day in 1..=days {
+        system.run_seconds(24 * 3_600);
+        out += &format!(
+            "day {day}: T1 {:.2} °C, dew1 {:.2} °C, condensate {:.4} kg
+",
+            system.plant().zone_temperature(SubspaceId::S1).get(),
+            system.plant().zone_dew_point(SubspaceId::S1).get(),
+            system.plant().panel_condensate_total(),
+        );
+    }
+    let reports = system.bt_device_reports();
+    let mean_life =
+        reports.iter().filter_map(|r| r.lifetime_years).sum::<f64>() / reports.len().max(1) as f64;
+    out += &format!(
+        "
+after {days} day(s): delivery {:.1}%, mean projected device lifetime {mean_life:.2} years
+",
+        100.0 * system.network().stats().delivery_ratio(),
+    );
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_ok(command: &str, flags: &[&str]) -> String {
+        run(command, flags.iter().map(|s| (*s).to_owned()).collect()).unwrap()
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        assert!(run_ok("help", &[]).contains("bzctl"));
+    }
+
+    #[test]
+    fn unknown_command_errors_with_usage() {
+        let err = run("frobnicate", Vec::new()).unwrap_err();
+        assert!(err.to_string().contains("unknown command"));
+    }
+
+    #[test]
+    fn comfort_reports_radiant_advantage() {
+        let out = run_ok("comfort", &["--temp", "25", "--dew", "18", "--panel", "21"]);
+        assert!(out.contains("radiant advantage"));
+        assert!(out.contains("PMV"));
+    }
+
+    #[test]
+    fn comfort_rejects_supersaturated_input() {
+        let err = run(
+            "comfort",
+            vec!["--temp".into(), "20".into(), "--dew".into(), "25".into()],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("below"));
+    }
+
+    #[test]
+    fn multihop_plans_a_building() {
+        let out = run_ok("multihop", &["--wings", "2"]);
+        assert!(out.contains("connected = true"));
+        assert!(out.contains("flooding baseline"));
+    }
+
+    #[test]
+    fn trial_runs_short() {
+        let out = run_ok("trial", &["--minutes", "3", "--quiet"]);
+        assert!(out.contains("final:"));
+    }
+
+    #[test]
+    fn trial_rejects_typoed_flag() {
+        let err = run("trial", vec!["--mintues".into(), "3".into()]).unwrap_err();
+        assert!(err.to_string().contains("unknown flag"));
+    }
+
+    #[test]
+    fn sniff_runs_short() {
+        let out = run_ok("sniff", &["--minutes", "1"]);
+        assert!(out.contains("sniffer capture"));
+        assert!(out.contains("temperature"));
+    }
+
+    #[test]
+    fn endurance_rejects_silly_day_counts() {
+        assert!(run("endurance", vec!["--days".into(), "0".into()]).is_err());
+        assert!(run("endurance", vec!["--days".into(), "99".into()]).is_err());
+    }
+
+    #[test]
+    fn network_runs_short() {
+        let out = run_ok("network", &["--minutes", "2"]);
+        assert!(out.contains("networking trial"));
+        assert!(out.contains("delivery"));
+    }
+}

@@ -1,0 +1,8 @@
+//! Library side of `bzctl`: a tiny dependency-free argument parser and the
+//! command implementations, kept in a library so they are unit-testable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;

@@ -1,0 +1,21 @@
+//! `bzctl` entry point: dispatches to [`bz_cli::commands::run`].
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut argv = std::env::args().skip(1);
+    let Some(command) = argv.next() else {
+        eprintln!("{}", bz_cli::commands::USAGE);
+        return ExitCode::FAILURE;
+    };
+    match bz_cli::commands::run(&command, argv.collect()) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(error) => {
+            eprintln!("error: {error}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! The BubbleZERO device inventory and message-addressing conventions.
+//!
+//! §III-A deploys 38 sensors of different types; each control board and
+//! special-purpose sensor is integrated with a TelosB mote. This module
+//! fixes the node-id allocation and the logical-channel scheme by which
+//! typed broadcasts are disambiguated (e.g. *which* subspace a temperature
+//! sample describes).
+
+use bz_wsn::message::NodeId;
+
+/// Power supply of a device (§IV treats the two classes differently).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PowerClass {
+    /// Mains-powered: transmits on a fixed (but contention-adapted)
+    /// schedule.
+    Ac,
+    /// Battery-powered: duty-cycled with BT-ADPT.
+    Battery,
+}
+
+/// Roles a mote can play in the deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceRole {
+    /// Ceiling-surface temperature/humidity sensor `index` (0–11; six per
+    /// panel, §III-B, Figure 4(b)).
+    CeilingSensor(usize),
+    /// Room air temperature/humidity sensor for subspace `index` (0–3).
+    RoomSensor(usize),
+    /// CO₂ sensor for subspace `index` (on the CO₂flap, 0–3).
+    Co2Sensor(usize),
+    /// Airbox outlet SHT75 for airbox `index` (0–3; wired to the
+    /// AC-powered Control-V-2, broadcast for Control-V-1).
+    OutletSensor(usize),
+    /// Control-C-1: pipe temperature acquisition + T_mix target
+    /// computation for panel `index` (0–1).
+    ControlC1(usize),
+    /// Control-C-2: flow sensing + pump drive for panel `index` (0–1).
+    ControlC2(usize),
+    /// Control-V-1: ventilation coordinator (coil pumps + dew targets).
+    ControlV1,
+    /// Control-V-2: fan driver for airbox `index` (0–3).
+    ControlV2(usize),
+    /// Control-V-3: CO₂flap driver for subspace `index` (0–3).
+    ControlV3(usize),
+}
+
+impl DeviceRole {
+    /// The node id assigned to this role.
+    #[must_use]
+    pub fn node_id(self) -> NodeId {
+        let id = match self {
+            Self::CeilingSensor(i) => 1 + i as u16, // 1–12
+            Self::RoomSensor(i) => 20 + i as u16,   // 20–23
+            Self::Co2Sensor(i) => 30 + i as u16,    // 30–33
+            Self::OutletSensor(i) => 40 + i as u16, // 40–43
+            Self::ControlC1(i) => 50 + i as u16,    // 50–51
+            Self::ControlC2(i) => 55 + i as u16,    // 55–56
+            Self::ControlV1 => 60,
+            Self::ControlV2(i) => 65 + i as u16, // 65–68
+            Self::ControlV3(i) => 70 + i as u16, // 70–73
+        };
+        NodeId::new(id)
+    }
+
+    /// Power class of this role: sensors scattered over the space run on
+    /// batteries; boards bolted to powered hardware take AC (§IV).
+    #[must_use]
+    pub fn power_class(self) -> PowerClass {
+        match self {
+            Self::CeilingSensor(_) | Self::RoomSensor(_) | Self::Co2Sensor(_) => {
+                PowerClass::Battery
+            }
+            _ => PowerClass::Ac,
+        }
+    }
+
+    /// Every deployed role.
+    #[must_use]
+    pub fn all() -> Vec<DeviceRole> {
+        let mut roles = Vec::new();
+        for i in 0..12 {
+            roles.push(Self::CeilingSensor(i));
+        }
+        for i in 0..4 {
+            roles.push(Self::RoomSensor(i));
+        }
+        for i in 0..4 {
+            roles.push(Self::Co2Sensor(i));
+        }
+        for i in 0..4 {
+            roles.push(Self::OutletSensor(i));
+        }
+        for i in 0..2 {
+            roles.push(Self::ControlC1(i));
+            roles.push(Self::ControlC2(i));
+        }
+        roles.push(Self::ControlV1);
+        for i in 0..4 {
+            roles.push(Self::ControlV2(i));
+            roles.push(Self::ControlV3(i));
+        }
+        roles
+    }
+}
+
+/// Logical-channel conventions for typed broadcasts.
+pub mod channels {
+    /// Temperature/humidity from ceiling sensor `k` (0–11):
+    /// channel = `CEILING_BASE + k`.
+    pub const CEILING_BASE: u16 = 100;
+    /// Temperature/humidity from the room sensor of subspace `s`:
+    /// channel = `ROOM_BASE + s`.
+    pub const ROOM_BASE: u16 = 200;
+    /// CO₂ from subspace `s`: channel = `CO2_BASE + s`.
+    pub const CO2_BASE: u16 = 300;
+    /// Outlet conditions of airbox `a`: channel = `OUTLET_BASE + a`.
+    pub const OUTLET_BASE: u16 = 400;
+    /// The radiant tank supply temperature (single channel).
+    pub const SUPPLY_TEMP: u16 = 500;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn node_ids_are_unique() {
+        let roles = DeviceRole::all();
+        let ids: HashSet<u16> = roles.iter().map(|r| r.node_id().get()).collect();
+        assert_eq!(ids.len(), roles.len());
+    }
+
+    #[test]
+    fn inventory_size_matches_paper_scale() {
+        // The paper deploys 38 sensors plus control boards; our inventory
+        // of motes (sensors + boards) should be in the same range.
+        let n = DeviceRole::all().len();
+        assert!((30..=40).contains(&n), "inventory {n}");
+    }
+
+    #[test]
+    fn battery_share_is_about_half() {
+        // "A half of devices in BubbleZERO are powered by batteries."
+        let roles = DeviceRole::all();
+        let battery = roles
+            .iter()
+            .filter(|r| r.power_class() == PowerClass::Battery)
+            .count();
+        let fraction = battery as f64 / roles.len() as f64;
+        assert!(
+            (0.4..=0.7).contains(&fraction),
+            "battery fraction {fraction}"
+        );
+    }
+
+    #[test]
+    fn role_power_classes() {
+        assert_eq!(DeviceRole::RoomSensor(0).power_class(), PowerClass::Battery);
+        assert_eq!(DeviceRole::ControlV1.power_class(), PowerClass::Ac);
+        assert_eq!(DeviceRole::OutletSensor(2).power_class(), PowerClass::Ac);
+    }
+}

@@ -1,0 +1,327 @@
+//! COP accounting and convergence metrics (§V-B's measurement methodology).
+//!
+//! The paper computes, from power meters and water-side measurements over
+//! a steady-state window: COP of the radiant module (964.8 W removed /
+//! 213.4 W consumed = 4.52), of the ventilation module (213.2 / 75.6 =
+//! 2.82), and of the whole system ((964.8 + 213.2)/(213.4 + 75.6) = 4.07),
+//! then compares against the conventional 2.8 for a 45.5 % improvement.
+
+use bz_psychro::{exergy_of_heat, Celsius, Watts};
+use bz_simcore::{Series, SimDuration, SimTime};
+use bz_thermal::plant::EnergyMeters;
+
+/// A Fig. 11-style COP summary computed over a metering window.
+///
+/// # Example
+///
+/// The paper's own numbers recompute exactly:
+///
+/// ```
+/// use bz_core::metrics::CopSummary;
+///
+/// let paper = CopSummary {
+///     radiant_removed_w: 964.8,
+///     vent_removed_w: 213.2,
+///     radiant_electrical_w: 213.4,
+///     vent_electrical_w: 75.6,
+/// };
+/// assert!((paper.cop_overall() - 4.07).abs() < 0.01);
+/// assert!((paper.improvement_over(2.8) - 0.455).abs() < 0.005);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CopSummary {
+    /// Mean heat removed by the radiant module, W.
+    pub radiant_removed_w: f64,
+    /// Mean heat removed by the ventilation module, W.
+    pub vent_removed_w: f64,
+    /// Mean radiant chiller electrical power, W.
+    pub radiant_electrical_w: f64,
+    /// Mean ventilation chiller electrical power, W.
+    pub vent_electrical_w: f64,
+}
+
+impl CopSummary {
+    /// Builds the summary from the plant's integrated meters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the meters cover no elapsed time.
+    #[must_use]
+    pub fn from_meters(meters: &EnergyMeters) -> Self {
+        let elapsed = meters.elapsed.get();
+        assert!(elapsed > 0.0, "meters cover no time");
+        Self {
+            radiant_removed_w: meters.radiant_removed.get() / elapsed,
+            vent_removed_w: meters.vent_removed.get() / elapsed,
+            radiant_electrical_w: meters.radiant_chiller.get() / elapsed,
+            vent_electrical_w: meters.vent_chiller.get() / elapsed,
+        }
+    }
+
+    /// COP of the radiant cooling module ("Bubble-C").
+    #[must_use]
+    pub fn cop_radiant(&self) -> f64 {
+        self.radiant_removed_w / self.radiant_electrical_w
+    }
+
+    /// COP of the ventilation module ("Bubble-V").
+    #[must_use]
+    pub fn cop_ventilation(&self) -> f64 {
+        self.vent_removed_w / self.vent_electrical_w
+    }
+
+    /// Overall system COP ("BubbleZERO").
+    #[must_use]
+    pub fn cop_overall(&self) -> f64 {
+        (self.radiant_removed_w + self.vent_removed_w)
+            / (self.radiant_electrical_w + self.vent_electrical_w)
+    }
+
+    /// Relative efficiency improvement of the overall COP over a
+    /// `baseline` COP, as a fraction (the paper reports 0.455).
+    #[must_use]
+    pub fn improvement_over(&self, baseline: f64) -> f64 {
+        self.cop_overall() / baseline - 1.0
+    }
+}
+
+/// The §II exergy accounting: how much *work-equivalent* each module's
+/// heat flux carries at its working temperature, relative to the room.
+/// Lower exergy for the same duty is the thermodynamic content of the
+/// paper's "low exergy" claim.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExergySummary {
+    /// Exergy rate of the radiant module's duty at its 18 °C water, W.
+    pub radiant_w: f64,
+    /// Exergy rate of the ventilation module's duty at its 8 °C water, W.
+    pub ventilation_w: f64,
+    /// Exergy rate if the *combined* duty were moved at the all-air
+    /// system's ~7 °C working temperature, W.
+    pub aircon_equivalent_w: f64,
+}
+
+impl ExergySummary {
+    /// Computes the summary from a COP summary's module duties, with the
+    /// room at `room` and the standard working temperatures (18 °C
+    /// radiant water, 8 °C ventilation water, 7 °C all-air coil).
+    #[must_use]
+    pub fn from_cop(cop: &CopSummary, room: Celsius) -> Self {
+        let reference = room.to_kelvin();
+        let radiant = exergy_of_heat(
+            Watts::new(cop.radiant_removed_w),
+            Celsius::new(18.0).to_kelvin(),
+            reference,
+        );
+        let ventilation = exergy_of_heat(
+            Watts::new(cop.vent_removed_w),
+            Celsius::new(8.0).to_kelvin(),
+            reference,
+        );
+        let aircon = exergy_of_heat(
+            Watts::new(cop.radiant_removed_w + cop.vent_removed_w),
+            Celsius::new(7.0).to_kelvin(),
+            reference,
+        );
+        Self {
+            radiant_w: radiant.get(),
+            ventilation_w: ventilation.get(),
+            aircon_equivalent_w: aircon.get(),
+        }
+    }
+
+    /// Total exergy rate of the decomposed system, W.
+    #[must_use]
+    pub fn decomposed_total_w(&self) -> f64 {
+        self.radiant_w + self.ventilation_w
+    }
+
+    /// Fraction of exergy saved by decomposition relative to moving the
+    /// whole duty at the all-air working temperature.
+    #[must_use]
+    pub fn savings_fraction(&self) -> f64 {
+        1.0 - self.decomposed_total_w() / self.aircon_equivalent_w
+    }
+}
+
+/// Time for a recorded series to first enter `target ± tolerance` and stay
+/// inside for at least `dwell`, in minutes from the start of the
+/// recording. `None` if it never does. (Unlike requiring stability to the
+/// end of the recording, a dwell window tolerates the scripted
+/// disturbances arriving later in the trial.)
+#[must_use]
+pub fn convergence_minutes(
+    series: &Series,
+    target: f64,
+    tolerance: f64,
+    dwell: SimDuration,
+) -> Option<f64> {
+    let mut entered: Option<SimTime> = None;
+    for sample in series.samples() {
+        if (sample.value - target).abs() <= tolerance {
+            let start = *entered.get_or_insert(sample.at);
+            if sample.at.since(start) >= dwell {
+                return Some(start.as_secs_f64() / 60.0);
+            }
+        } else {
+            entered = None;
+        }
+    }
+    None
+}
+
+/// Recovery time after a disturbance at `event`: minutes until the series
+/// re-enters `target ± tolerance` for good (measured from the event).
+#[must_use]
+pub fn recovery_minutes(
+    series: &Series,
+    event: SimTime,
+    target: f64,
+    tolerance: f64,
+) -> Option<f64> {
+    let mut settled: Option<SimTime> = None;
+    for sample in series.samples() {
+        if sample.at < event {
+            continue;
+        }
+        if (sample.value - target).abs() <= tolerance {
+            settled.get_or_insert(sample.at);
+        } else {
+            settled = None;
+        }
+    }
+    settled.map(|t| t.since(event).as_secs_f64() / 60.0)
+}
+
+/// Fraction of samples within `target ± tolerance` over `[from, to]` — the
+/// "maintains on the equilibrium" claim quantified.
+#[must_use]
+pub fn comfort_fraction(
+    series: &Series,
+    from: SimTime,
+    to: SimTime,
+    target: f64,
+    tolerance: f64,
+) -> f64 {
+    let mut total = 0usize;
+    let mut inside = 0usize;
+    for sample in series.between(from, to) {
+        total += 1;
+        if (sample.value - target).abs() <= tolerance {
+            inside += 1;
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        inside as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bz_psychro::{Joules, Seconds};
+    use bz_simcore::TraceRecorder;
+
+    fn paper_summary() -> CopSummary {
+        CopSummary {
+            radiant_removed_w: 964.8,
+            vent_removed_w: 213.2,
+            radiant_electrical_w: 213.4,
+            vent_electrical_w: 75.6,
+        }
+    }
+
+    #[test]
+    fn reproduces_paper_cop_numbers() {
+        let s = paper_summary();
+        assert!((s.cop_radiant() - 4.52).abs() < 0.01);
+        assert!((s.cop_ventilation() - 2.82).abs() < 0.01);
+        assert!((s.cop_overall() - 4.07).abs() < 0.01);
+        assert!((s.improvement_over(2.8) - 0.455).abs() < 0.005);
+    }
+
+    #[test]
+    fn exergy_decomposition_saves_work() {
+        let summary = ExergySummary::from_cop(&paper_summary(), Celsius::new(25.0));
+        // Radiant duty at 18 °C carries far less exergy per Watt than the
+        // same duty would at 7 °C.
+        assert!(summary.radiant_w < summary.aircon_equivalent_w);
+        // The paper's duty split saves roughly half of the exergy.
+        let saved = summary.savings_fraction();
+        assert!(
+            (0.35..0.75).contains(&saved),
+            "expected substantial exergy savings, got {saved}"
+        );
+        // Sanity magnitudes: 964.8 W at 18 °C vs 25 °C room is ~2.3% of Q.
+        assert!(
+            (summary.radiant_w - 22.7).abs() < 2.0,
+            "{}",
+            summary.radiant_w
+        );
+    }
+
+    #[test]
+    fn from_meters_averages() {
+        let meters = EnergyMeters {
+            radiant_removed: Joules::new(964.8 * 100.0),
+            vent_removed: Joules::new(213.2 * 100.0),
+            radiant_chiller: Joules::new(213.4 * 100.0),
+            vent_chiller: Joules::new(75.6 * 100.0),
+            pumps: Joules::new(0.0),
+            fans: Joules::new(0.0),
+            elapsed: Seconds::new(100.0),
+        };
+        let s = CopSummary::from_meters(&meters);
+        assert!((s.cop_overall() - 4.07).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "meters cover no time")]
+    fn from_meters_rejects_empty_window() {
+        let _ = CopSummary::from_meters(&EnergyMeters::default());
+    }
+
+    #[test]
+    fn convergence_and_recovery() {
+        let mut trace = TraceRecorder::new();
+        // Converge at t=30 min, disturb at t=60, recover at t=70.
+        for minute in 0..100u64 {
+            let value = match minute {
+                0..=29 => 28.9 - f64::from(minute as u32) * 0.15,
+                60..=69 => 26.0,
+                _ => 25.0,
+            };
+            trace.record("t", SimTime::from_mins(minute), value);
+        }
+        let series = trace.series("t").unwrap();
+        let conv = convergence_minutes(series, 25.0, 0.5, SimDuration::from_mins(10)).unwrap();
+        // The ramp enters the ±0.5 band at minute 23 and dwells there.
+        assert!((conv - 23.0).abs() < 1.1, "converged at {conv}");
+        let rec = recovery_minutes(series, SimTime::from_mins(60), 25.0, 0.5).unwrap();
+        assert!((rec - 10.0).abs() < 1.1, "recovered after {rec}");
+    }
+
+    #[test]
+    fn comfort_fraction_counts_band_membership() {
+        let mut trace = TraceRecorder::new();
+        for minute in 0..10u64 {
+            let value = if minute < 5 { 25.0 } else { 27.0 };
+            trace.record("t", SimTime::from_mins(minute), value);
+        }
+        let series = trace.series("t").unwrap();
+        let fraction = comfort_fraction(series, SimTime::ZERO, SimTime::from_mins(9), 25.0, 0.5);
+        assert!((fraction - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comfort_fraction_empty_window_is_zero() {
+        let mut trace = TraceRecorder::new();
+        trace.record("t", SimTime::from_mins(5), 25.0);
+        let series = trace.series("t").unwrap();
+        assert_eq!(
+            comfort_fraction(series, SimTime::ZERO, SimTime::from_mins(1), 25.0, 0.5),
+            0.0
+        );
+    }
+}

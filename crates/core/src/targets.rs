@@ -1,0 +1,65 @@
+//! Occupant comfort targets.
+//!
+//! The occupant sets a preferred temperature and humidity (§III); the
+//! paper's trial uses 25 °C with an 18 °C dew point, plus an air-quality
+//! ceiling on CO₂.
+
+use bz_psychro::{dew_point, relative_humidity_from_dew_point, Celsius, Percent, Ppm};
+
+/// The occupant's comfort configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComfortTargets {
+    /// Preferred dry-bulb temperature `T_pref`.
+    pub temperature: Celsius,
+    /// Preferred relative humidity `H_pref` (at `T_pref`).
+    pub humidity: Percent,
+    /// CO₂ concentration above which ventilation must dilute.
+    pub co2_limit: Ppm,
+}
+
+impl ComfortTargets {
+    /// The paper's trial targets: 25 °C and an 18 °C dew point
+    /// (≈ 65 % RH at 25 °C), with a conventional 800 ppm CO₂ ceiling.
+    #[must_use]
+    pub fn paper_trial() -> Self {
+        Self::from_dew_point(Celsius::new(25.0), Celsius::new(18.0), Ppm::new(800.0))
+    }
+
+    /// Builds targets from a preferred temperature and *dew point*.
+    #[must_use]
+    pub fn from_dew_point(temperature: Celsius, dew: Celsius, co2_limit: Ppm) -> Self {
+        Self {
+            temperature,
+            humidity: relative_humidity_from_dew_point(temperature, dew),
+            co2_limit,
+        }
+    }
+
+    /// The preferred dew point `T_p_dew` computed from `T_pref` and
+    /// `H_pref` (§III-C).
+    #[must_use]
+    pub fn preferred_dew_point(&self) -> Celsius {
+        dew_point(self.temperature, self.humidity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_trial_round_trips_dew_point() {
+        let t = ComfortTargets::paper_trial();
+        assert!((t.temperature.get() - 25.0).abs() < 1e-12);
+        assert!((t.preferred_dew_point().get() - 18.0).abs() < 1e-6);
+        assert!((t.humidity.get() - 65.2).abs() < 1.0);
+        assert_eq!(t.co2_limit, Ppm::new(800.0));
+    }
+
+    #[test]
+    fn custom_targets() {
+        let t =
+            ComfortTargets::from_dew_point(Celsius::new(23.0), Celsius::new(15.0), Ppm::new(900.0));
+        assert!((t.preferred_dew_point().get() - 15.0).abs() < 1e-6);
+    }
+}

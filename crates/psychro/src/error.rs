@@ -1,0 +1,65 @@
+//! Error type for psychrometric computations.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error produced by a psychrometric property function.
+///
+/// The property functions are total over the physically meaningful domain;
+/// this error is returned by the `_checked` variants when an input falls
+/// outside that domain (e.g. a non-positive relative humidity, for which a
+/// dew point does not exist).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PsychroError {
+    /// Relative humidity must lie in `(0, 100]` percent for a dew point to
+    /// exist; carries the offending value in percent.
+    HumidityOutOfRange(f64),
+    /// Temperature is outside the validity range of the Magnus
+    /// approximation (roughly −45 °C to +60 °C); carries the offending
+    /// value in Celsius.
+    TemperatureOutOfRange(f64),
+    /// A humidity ratio was negative; carries the offending value in kg/kg.
+    NegativeHumidityRatio(f64),
+}
+
+impl fmt::Display for PsychroError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::HumidityOutOfRange(h) => {
+                write!(f, "relative humidity {h}% is outside (0, 100]")
+            }
+            Self::TemperatureOutOfRange(t) => {
+                write!(f, "temperature {t}°C is outside the Magnus validity range")
+            }
+            Self::NegativeHumidityRatio(w) => {
+                write!(f, "humidity ratio {w} kg/kg is negative")
+            }
+        }
+    }
+}
+
+impl Error for PsychroError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let messages = [
+            PsychroError::HumidityOutOfRange(120.0).to_string(),
+            PsychroError::TemperatureOutOfRange(-80.0).to_string(),
+            PsychroError::NegativeHumidityRatio(-0.1).to_string(),
+        ];
+        for msg in messages {
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PsychroError>();
+    }
+}

@@ -1,0 +1,322 @@
+//! Moist-air property relations (humidity ratio, enthalpy, density).
+//!
+//! The thermal plant tracks zone moisture as a humidity ratio (kg of water
+//! vapor per kg of dry air) because that quantity is conserved under mixing;
+//! the sensors and controllers speak in relative humidity and dew point.
+//! This module provides the conversions between the two descriptions plus
+//! the enthalpy and density relations the airbox coil model needs.
+
+use crate::error::PsychroError;
+use crate::magnus::{saturation_vapor_pressure, vapor_pressure};
+use crate::units::{Celsius, KgPerKg, Pascals, Percent};
+
+/// Standard atmospheric pressure at sea level, Pascals.
+pub const STANDARD_PRESSURE: Pascals = Pascals::new(101_325.0);
+
+/// Specific heat of dry air at constant pressure, J/(kg·K).
+pub const CP_DRY_AIR: f64 = 1_005.0;
+
+/// Specific heat of water vapor at constant pressure, J/(kg·K).
+pub const CP_WATER_VAPOR: f64 = 1_860.0;
+
+/// Ratio of molar masses of water to dry air.
+const EPSILON: f64 = 0.621_945;
+
+/// Specific gas constant of dry air, J/(kg·K).
+const R_DRY_AIR: f64 = 287.055;
+
+/// Humidity ratio of moist air given the vapor partial pressure and the
+/// total pressure.
+///
+/// # Panics
+///
+/// Panics if `vapor` is not strictly less than `total` (a physical
+/// impossibility for moist air at the conditions BubbleZERO operates in).
+#[must_use]
+pub fn humidity_ratio_from_vapor_pressure(vapor: Pascals, total: Pascals) -> KgPerKg {
+    assert!(
+        vapor.get() < total.get(),
+        "vapor pressure {vapor} must be below total pressure {total}"
+    );
+    KgPerKg::new(EPSILON * vapor.get() / (total.get() - vapor.get()))
+}
+
+/// Vapor partial pressure corresponding to a humidity ratio at `total`
+/// pressure. Inverse of [`humidity_ratio_from_vapor_pressure`].
+///
+/// # Errors
+///
+/// Returns [`PsychroError::NegativeHumidityRatio`] when `ratio` is negative.
+pub fn vapor_pressure_from_humidity_ratio(
+    ratio: KgPerKg,
+    total: Pascals,
+) -> Result<Pascals, PsychroError> {
+    let w = ratio.get();
+    if w < 0.0 {
+        return Err(PsychroError::NegativeHumidityRatio(w));
+    }
+    Ok(Pascals::new(total.get() * w / (EPSILON + w)))
+}
+
+/// Humidity ratio of air at `temperature` and `relative_humidity` under
+/// standard pressure.
+///
+/// # Example
+///
+/// ```
+/// use bz_psychro::{humidity_ratio_from_rh, Celsius, Percent};
+///
+/// // Tropical outdoor air (28.9 °C, ~92% RH) holds ~23 g of water per kg.
+/// let w = humidity_ratio_from_rh(Celsius::new(28.9), Percent::new(92.0));
+/// assert!((w.get() - 0.023).abs() < 0.001);
+/// ```
+#[must_use]
+pub fn humidity_ratio_from_rh(temperature: Celsius, relative_humidity: Percent) -> KgPerKg {
+    humidity_ratio_from_vapor_pressure(
+        vapor_pressure(temperature, relative_humidity),
+        STANDARD_PRESSURE,
+    )
+}
+
+/// Humidity ratio of air whose dew point is `dew`, independent of its
+/// dry-bulb temperature (the water content is fixed by the dew point alone).
+#[must_use]
+pub fn humidity_ratio_from_dew_point(dew: Celsius) -> KgPerKg {
+    humidity_ratio_from_vapor_pressure(saturation_vapor_pressure(dew), STANDARD_PRESSURE)
+}
+
+/// Relative humidity of air at `temperature` carrying humidity ratio
+/// `ratio`, clamped to at most 100 %.
+///
+/// # Errors
+///
+/// Returns [`PsychroError::NegativeHumidityRatio`] when `ratio` is negative.
+pub fn relative_humidity_from_humidity_ratio(
+    temperature: Celsius,
+    ratio: KgPerKg,
+) -> Result<Percent, PsychroError> {
+    let vapor = vapor_pressure_from_humidity_ratio(ratio, STANDARD_PRESSURE)?;
+    let saturation = saturation_vapor_pressure(temperature);
+    Ok(Percent::from_fraction(
+        (vapor.get() / saturation.get()).min(1.0),
+    ))
+}
+
+/// Specific enthalpy of moist air in J per kg of dry air, relative to 0 °C
+/// dry air. Includes the latent heat carried by the vapor.
+#[must_use]
+pub fn moist_air_enthalpy(temperature: Celsius, ratio: KgPerKg) -> f64 {
+    let t = temperature.get();
+    let w = ratio.get();
+    CP_DRY_AIR * t + w * (latent_heat_of_vaporization(Celsius::new(0.0)) + CP_WATER_VAPOR * t)
+}
+
+/// Latent heat of vaporization of water at `temperature`, J/kg.
+///
+/// A linear fit adequate over the HVAC range: 2.501 MJ/kg at 0 °C falling
+/// ~2.36 kJ/kg per Kelvin.
+#[must_use]
+pub fn latent_heat_of_vaporization(temperature: Celsius) -> f64 {
+    2_501_000.0 - 2_360.0 * temperature.get()
+}
+
+/// Density of dry air at `temperature` under standard pressure, kg/m³.
+#[must_use]
+pub fn dry_air_density(temperature: Celsius) -> f64 {
+    STANDARD_PRESSURE.get() / (R_DRY_AIR * temperature.to_kelvin().get())
+}
+
+/// Specific volume of moist air, m³ per kg of dry air, at standard
+/// pressure (the ideal-gas relation with the vapor partial pressure
+/// displacing dry air).
+///
+/// # Panics
+///
+/// Panics if `ratio` is negative.
+#[must_use]
+pub fn moist_air_specific_volume(temperature: Celsius, ratio: KgPerKg) -> f64 {
+    let vapor = vapor_pressure_from_humidity_ratio(ratio, STANDARD_PRESSURE)
+        .expect("humidity ratio must be non-negative");
+    R_DRY_AIR * temperature.to_kelvin().get() / (STANDARD_PRESSURE.get() - vapor.get())
+}
+
+/// Thermodynamic wet-bulb temperature, solved iteratively from the
+/// adiabatic-saturation balance
+/// `w = ((h_fg − c_pw·t_wb)·w_s(t_wb) − c_pa·(t − t_wb)) / (h_fg + c_pv·t − c_pw·t_wb)`
+/// (ASHRAE Fundamentals form), via bisection between the dew point and the
+/// dry-bulb temperature.
+///
+/// # Panics
+///
+/// Panics if `ratio` is negative.
+#[must_use]
+pub fn wet_bulb_temperature(temperature: Celsius, ratio: KgPerKg) -> Celsius {
+    assert!(ratio.get() >= 0.0, "humidity ratio must be non-negative");
+    const CP_LIQUID_WATER: f64 = 4_186.0;
+    let t = temperature.get();
+    let w = ratio.get();
+
+    // Saturated humidity ratio at a candidate wet-bulb temperature.
+    let w_s = |twb: f64| {
+        humidity_ratio_from_vapor_pressure(
+            saturation_vapor_pressure(Celsius::new(twb)),
+            STANDARD_PRESSURE,
+        )
+        .get()
+    };
+    // Residual of the adiabatic-saturation balance: positive when the
+    // candidate wet bulb is too warm.
+    let residual = |twb: f64| {
+        let h_fg = latent_heat_of_vaporization(Celsius::new(0.0));
+        let numerator =
+            (h_fg - (CP_LIQUID_WATER - CP_WATER_VAPOR) * twb) * w_s(twb) - CP_DRY_AIR * (t - twb);
+        let denominator = h_fg + CP_WATER_VAPOR * t - CP_LIQUID_WATER * twb;
+        numerator / denominator - w
+    };
+
+    // The wet bulb lies between an arbitrary cold floor and the dry bulb.
+    let mut lo = t - 40.0;
+    let mut hi = t;
+    for _ in 0..60 {
+        let mid = (lo + hi) / 2.0;
+        if residual(mid) > 0.0 {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Celsius::new((lo + hi) / 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::magnus::dew_point;
+
+    #[test]
+    fn humidity_ratio_reference_values() {
+        // ASHRAE-style reference: saturated air at 25 °C holds ~20 g/kg.
+        let w = humidity_ratio_from_rh(Celsius::new(25.0), Percent::new(100.0));
+        assert!((w.get() - 0.0202).abs() < 0.0005, "got {w}");
+        // The trial target (18 °C dew point) is ~13 g/kg.
+        let w = humidity_ratio_from_dew_point(Celsius::new(18.0));
+        assert!((w.get() - 0.0130).abs() < 0.0004, "got {w}");
+    }
+
+    #[test]
+    fn vapor_pressure_round_trip() {
+        let w = KgPerKg::new(0.015);
+        let p = vapor_pressure_from_humidity_ratio(w, STANDARD_PRESSURE).unwrap();
+        let w2 = humidity_ratio_from_vapor_pressure(p, STANDARD_PRESSURE);
+        assert!((w.get() - w2.get()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_ratio_is_rejected() {
+        assert!(
+            vapor_pressure_from_humidity_ratio(KgPerKg::new(-0.01), STANDARD_PRESSURE).is_err()
+        );
+        assert!(
+            relative_humidity_from_humidity_ratio(Celsius::new(25.0), KgPerKg::new(-0.01)).is_err()
+        );
+    }
+
+    #[test]
+    fn rh_ratio_round_trip() {
+        let t = Celsius::new(28.9);
+        let rh = Percent::new(70.0);
+        let w = humidity_ratio_from_rh(t, rh);
+        let rh2 = relative_humidity_from_humidity_ratio(t, w).unwrap();
+        assert!((rh.get() - rh2.get()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dew_point_fixes_water_content() {
+        // Air at different dry-bulb temperatures but identical dew points
+        // must carry the same humidity ratio.
+        let dew = Celsius::new(18.0);
+        let w_direct = humidity_ratio_from_dew_point(dew);
+        let rh = crate::magnus::relative_humidity_from_dew_point(Celsius::new(30.0), dew);
+        let w_via_rh = humidity_ratio_from_rh(Celsius::new(30.0), rh);
+        assert!((w_direct.get() - w_via_rh.get()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dew_of_ratio_round_trip() {
+        // humidity ratio -> RH at some temperature -> dew point recovers
+        // the defining dew point.
+        let dew_in = Celsius::new(21.5);
+        let w = humidity_ratio_from_dew_point(dew_in);
+        let rh = relative_humidity_from_humidity_ratio(Celsius::new(27.0), w).unwrap();
+        let dew_out = dew_point(Celsius::new(27.0), rh);
+        assert!((dew_in.get() - dew_out.get()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn enthalpy_increases_with_temperature_and_moisture() {
+        let h_dry = moist_air_enthalpy(Celsius::new(25.0), KgPerKg::new(0.0));
+        let h_humid = moist_air_enthalpy(Celsius::new(25.0), KgPerKg::new(0.02));
+        let h_hot = moist_air_enthalpy(Celsius::new(30.0), KgPerKg::new(0.0));
+        assert!(h_humid > h_dry);
+        assert!(h_hot > h_dry);
+        // 20 g/kg of moisture adds roughly 50 kJ/kg of latent enthalpy.
+        assert!((h_humid - h_dry - 0.02 * 2_501_000.0).abs() < 2_000.0);
+    }
+
+    #[test]
+    fn air_density_reference() {
+        // ~1.184 kg/m³ at 25 °C.
+        let rho = dry_air_density(Celsius::new(25.0));
+        assert!((rho - 1.184).abs() < 0.005, "got {rho}");
+    }
+
+    #[test]
+    fn latent_heat_reference() {
+        assert!((latent_heat_of_vaporization(Celsius::new(0.0)) - 2_501_000.0).abs() < 1.0);
+        // ~2.43 MJ/kg at 30 °C.
+        let l = latent_heat_of_vaporization(Celsius::new(30.0));
+        assert!((l - 2_430_000.0).abs() < 5_000.0, "got {l}");
+    }
+
+    #[test]
+    fn specific_volume_reference() {
+        // ~0.872 m³/kg dry air at 28.9 °C, w = 0.0233 (ASHRAE chart zone).
+        let v = moist_air_specific_volume(Celsius::new(28.9), KgPerKg::new(0.0233));
+        assert!((v - 0.887).abs() < 0.02, "got {v}");
+        // Dry air is denser (smaller volume).
+        let v_dry = moist_air_specific_volume(Celsius::new(28.9), KgPerKg::new(0.0));
+        assert!(v_dry < v);
+    }
+
+    #[test]
+    fn wet_bulb_between_dew_point_and_dry_bulb() {
+        for (t, dew) in [(28.9, 27.4), (25.0, 18.0), (30.0, 10.0)] {
+            let w = humidity_ratio_from_dew_point(Celsius::new(dew));
+            let twb = wet_bulb_temperature(Celsius::new(t), w).get();
+            assert!(twb > dew - 0.3, "wet bulb {twb} below dew {dew}");
+            assert!(twb < t + 1e-9, "wet bulb {twb} above dry bulb {t}");
+        }
+    }
+
+    #[test]
+    fn wet_bulb_equals_dry_bulb_at_saturation() {
+        let t = Celsius::new(24.0);
+        let w = humidity_ratio_from_dew_point(t);
+        let twb = wet_bulb_temperature(t, w).get();
+        assert!((twb - 24.0).abs() < 0.15, "got {twb}");
+    }
+
+    #[test]
+    fn wet_bulb_reference_point() {
+        // Classic psychrometric reference: 25 °C, 50% RH → wet bulb ≈ 17.9 °C.
+        let w = humidity_ratio_from_rh(Celsius::new(25.0), Percent::new(50.0));
+        let twb = wet_bulb_temperature(Celsius::new(25.0), w).get();
+        assert!((twb - 17.9).abs() < 0.5, "got {twb}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be below total pressure")]
+    fn supercritical_vapor_pressure_panics() {
+        let _ = humidity_ratio_from_vapor_pressure(Pascals::new(200_000.0), STANDARD_PRESSURE);
+    }
+}

@@ -1,0 +1,73 @@
+//! Liquid-water properties for the hydronic loops.
+//!
+//! The paper computes removed heat as `P = c · F · (T_retn − T_supp)` where
+//! `c` is "a constant related to the water thermal capacity and density".
+//! These helpers provide that constant and its ingredients.
+
+use crate::units::Celsius;
+
+/// Specific heat of liquid water, J/(kg·K), at hydronic temperatures.
+pub const CP_WATER: f64 = 4_186.0;
+
+/// Density of liquid water at `temperature`, kg/m³.
+///
+/// Quadratic fit around the 4 °C maximum, accurate to ~0.1 kg/m³ over the
+/// 0–40 °C range the chilled-water loops operate in.
+#[must_use]
+pub fn water_density(temperature: Celsius) -> f64 {
+    let t = temperature.get();
+    1_000.0 - 0.0063 * (t - 4.0).powi(2)
+}
+
+/// Specific heat of liquid water at `temperature`, J/(kg·K).
+///
+/// Essentially flat over the hydronic range; a tiny linear correction keeps
+/// energy balances honest.
+#[must_use]
+pub fn water_specific_heat(temperature: Celsius) -> f64 {
+    CP_WATER - 0.6 * (temperature.get() - 20.0)
+}
+
+/// The paper's constant `c`: volumetric heat capacity of water in
+/// J/(m³·K) at `temperature` (density × specific heat). Multiplying by a
+/// volumetric flow in m³/s and a temperature difference in Kelvin yields
+/// Watts.
+#[must_use]
+pub fn water_volumetric_heat_capacity(temperature: Celsius) -> f64 {
+    water_density(temperature) * water_specific_heat(temperature)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn density_peaks_near_four_degrees() {
+        let at_4 = water_density(Celsius::new(4.0));
+        assert!(at_4 > water_density(Celsius::new(0.0)));
+        assert!(at_4 > water_density(Celsius::new(20.0)));
+        assert!((at_4 - 1_000.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn density_reference_at_18c() {
+        // ~998.6 kg/m³ at 18 °C (the radiant supply temperature).
+        let rho = water_density(Celsius::new(18.0));
+        assert!((rho - 998.7).abs() < 0.8, "got {rho}");
+    }
+
+    #[test]
+    fn specific_heat_near_4186() {
+        for t in [8.0, 18.0, 25.0] {
+            let cp = water_specific_heat(Celsius::new(t));
+            assert!((cp - 4_186.0).abs() < 15.0, "got {cp} at {t}°C");
+        }
+    }
+
+    #[test]
+    fn volumetric_capacity_magnitude() {
+        // ~4.18 MJ/(m³·K).
+        let c = water_volumetric_heat_capacity(Celsius::new(18.0));
+        assert!((c - 4.18e6).abs() < 0.03e6, "got {c}");
+    }
+}

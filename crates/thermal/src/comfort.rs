@@ -1,0 +1,251 @@
+//! Thermal comfort: Fanger's PMV/PPD model (ISO 7730).
+//!
+//! The paper's goal is "thermal comfort (cooling or heating), air dryness
+//! (dehumidification), and good air quality (ventilation)". This module
+//! quantifies the first of those with the standard Predicted Mean Vote /
+//! Predicted Percentage Dissatisfied model, which also exposes a real
+//! advantage of radiant cooling: the chilled ceiling lowers the *mean
+//! radiant temperature*, so occupants are comfortable at a higher air
+//! temperature than an all-air system needs.
+
+use bz_psychro::{vapor_pressure, Celsius, Percent};
+
+use crate::zone::AirState;
+
+/// Inputs to the PMV computation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComfortInputs {
+    /// Air (dry-bulb) temperature.
+    pub air_temperature: Celsius,
+    /// Mean radiant temperature of the surrounding surfaces.
+    pub mean_radiant_temperature: Celsius,
+    /// Relative air velocity, m/s.
+    pub air_velocity_m_s: f64,
+    /// Relative humidity.
+    pub relative_humidity: Percent,
+    /// Metabolic rate, met (1 met = 58.15 W/m²; seated office ≈ 1.1).
+    pub metabolic_met: f64,
+    /// Clothing insulation, clo (tropical office attire ≈ 0.5).
+    pub clothing_clo: f64,
+}
+
+impl ComfortInputs {
+    /// Typical BubbleZERO occupant: seated office work in tropical
+    /// clothing with still air.
+    #[must_use]
+    pub fn tropical_office(
+        air: Celsius,
+        mean_radiant: Celsius,
+        relative_humidity: Percent,
+    ) -> Self {
+        Self {
+            air_temperature: air,
+            mean_radiant_temperature: mean_radiant,
+            air_velocity_m_s: 0.1,
+            relative_humidity,
+            metabolic_met: 1.1,
+            clothing_clo: 0.5,
+        }
+    }
+
+    /// Inputs for a subspace served by a radiant ceiling panel: the MRT
+    /// blends the room surfaces (≈ air temperature) with the cold panel,
+    /// whose view factor from a standing occupant is roughly `panel_view`
+    /// (≈ 0.25 for the BubbleZERO ceiling share).
+    #[must_use]
+    pub fn for_radiant_zone(zone: AirState, panel_surface: Celsius, panel_view: f64) -> Self {
+        let mrt = Celsius::new(
+            (1.0 - panel_view) * zone.temperature.get() + panel_view * panel_surface.get(),
+        );
+        Self::tropical_office(zone.temperature, mrt, zone.relative_humidity())
+    }
+}
+
+/// Fanger's Predicted Mean Vote on the 7-point scale (−3 cold … +3 hot),
+/// per the ISO 7730 reference algorithm.
+///
+/// # Panics
+///
+/// Panics if `metabolic_met` or `clothing_clo` is not positive, or if the
+/// iterative clothing-surface-temperature solve fails to converge
+/// (possible only far outside the comfort envelope).
+#[must_use]
+pub fn pmv(inputs: &ComfortInputs) -> f64 {
+    assert!(
+        inputs.metabolic_met > 0.0,
+        "metabolic rate must be positive"
+    );
+    assert!(
+        inputs.clothing_clo > 0.0,
+        "clothing insulation must be positive"
+    );
+
+    let ta = inputs.air_temperature.get();
+    let tr = inputs.mean_radiant_temperature.get();
+    let vel = inputs.air_velocity_m_s.max(0.0);
+    // Water vapor partial pressure, Pa.
+    let pa = vapor_pressure(inputs.air_temperature, inputs.relative_humidity).get();
+
+    let icl = 0.155 * inputs.clothing_clo; // m²K/W
+    let m = inputs.metabolic_met * 58.15; // W/m²
+    let w = 0.0; // external work, ≈0 for office activity
+    let mw = m - w;
+
+    let fcl = if icl <= 0.078 {
+        1.0 + 1.29 * icl
+    } else {
+        1.05 + 0.645 * icl
+    };
+
+    // Iteratively solve the clothing surface temperature.
+    let taa = ta + 273.0;
+    let tra = tr + 273.0;
+    let mut tcla = taa + (35.5 - ta) / (3.5 * icl + 0.1);
+
+    let p1 = icl * fcl;
+    let p2 = p1 * 3.96;
+    let p3 = p1 * 100.0;
+    let p4 = p1 * taa;
+    let p5 = 308.7 - 0.028 * mw + p2 * (tra / 100.0).powi(4);
+    let hcf = 12.1 * vel.sqrt();
+
+    let mut xn = tcla / 100.0;
+    let mut xf = xn;
+    let eps = 1.5e-5;
+    let mut converged = false;
+    for _ in 0..300 {
+        xf = (xf + xn) / 2.0;
+        let hcn = 2.38 * (100.0 * xf - taa).abs().powf(0.25);
+        let hc = hcf.max(hcn);
+        xn = (p5 + p4 * hc - p2 * xf.powi(4)) / (100.0 + p3 * hc);
+        if (xn - xf).abs() <= eps {
+            converged = true;
+            break;
+        }
+    }
+    assert!(converged, "PMV clothing-temperature solve did not converge");
+    tcla = 100.0 * xn;
+    let tcl = tcla - 273.0;
+
+    let hcn = 2.38 * (tcl - ta).abs().powf(0.25);
+    let hc = hcf.max(hcn);
+
+    // Heat-loss components, W/m².
+    let hl1 = 3.05e-3 * (5_733.0 - 6.99 * mw - pa); // skin diffusion
+    let hl2 = if mw > 58.15 { 0.42 * (mw - 58.15) } else { 0.0 }; // sweating
+    let hl3 = 1.7e-5 * m * (5_867.0 - pa); // latent respiration
+    let hl4 = 1.4e-3 * m * (34.0 - ta); // dry respiration
+    let hl5 = 3.96 * fcl * (xn.powi(4) - (tra / 100.0).powi(4)); // radiation
+    let hl6 = fcl * hc * (tcl - ta); // convection
+
+    let ts = 0.303 * (-0.036 * m).exp() + 0.028;
+    ts * (mw - hl1 - hl2 - hl3 - hl4 - hl5 - hl6)
+}
+
+/// Predicted Percentage Dissatisfied for a given PMV, % (minimum 5 % at
+/// PMV = 0 — some people are never happy).
+#[must_use]
+pub fn ppd(pmv_value: f64) -> f64 {
+    100.0 - 95.0 * (-0.033_53 * pmv_value.powi(4) - 0.217_9 * pmv_value.powi(2)).exp()
+}
+
+/// Convenience: PMV and PPD for a radiant-cooled subspace.
+#[must_use]
+pub fn radiant_zone_comfort(zone: AirState, panel_surface: Celsius) -> (f64, f64) {
+    let inputs = ComfortInputs::for_radiant_zone(zone, panel_surface, 0.25);
+    let vote = pmv(&inputs);
+    (vote, ppd(vote))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bz_psychro::Ppm;
+
+    fn office(air: f64, mrt: f64, rh: f64) -> ComfortInputs {
+        ComfortInputs::tropical_office(Celsius::new(air), Celsius::new(mrt), Percent::new(rh))
+    }
+
+    #[test]
+    fn iso_reference_point_is_near_neutral() {
+        // ISO 7730 table D.1-style check: 26 °C air and MRT, 0.1 m/s,
+        // 50% RH, 1.1 met, 0.5 clo → PMV ≈ +0.4 (slightly warm side of
+        // neutral).
+        let vote = pmv(&office(26.0, 26.0, 50.0));
+        assert!((vote - 0.4).abs() < 0.25, "PMV {vote}");
+    }
+
+    #[test]
+    fn neutral_point_lies_in_the_mid_twenties() {
+        // With tropical clothing the neutral temperature sits around
+        // 24–26 °C: PMV must cross zero in that band.
+        let cold = pmv(&office(22.0, 22.0, 60.0));
+        let warm = pmv(&office(28.0, 28.0, 60.0));
+        assert!(cold < 0.0, "22 °C should feel cool: {cold}");
+        assert!(warm > 0.5, "28 °C should feel warm: {warm}");
+    }
+
+    #[test]
+    fn pmv_is_monotone_in_air_temperature() {
+        let mut last = f64::NEG_INFINITY;
+        for t in [20.0, 22.0, 24.0, 26.0, 28.0, 30.0] {
+            let vote = pmv(&office(t, t, 60.0));
+            assert!(vote > last, "PMV should rise with temperature");
+            last = vote;
+        }
+    }
+
+    #[test]
+    fn pmv_rises_with_humidity() {
+        let dry = pmv(&office(27.0, 27.0, 30.0));
+        let humid = pmv(&office(27.0, 27.0, 90.0));
+        assert!(humid > dry, "humid air should feel warmer");
+    }
+
+    #[test]
+    fn cold_ceiling_lowers_the_vote() {
+        // Same 25.5 °C air: a 21 °C radiant ceiling (MRT pulled down)
+        // reads cooler than matte 25.5 °C surroundings — the radiant
+        // cooling comfort dividend.
+        let all_air = pmv(&office(25.5, 25.5, 65.0));
+        let radiant = pmv(&office(25.5, 24.4, 65.0));
+        assert!(radiant < all_air);
+        assert!(all_air - radiant > 0.1);
+    }
+
+    #[test]
+    fn ppd_has_the_classic_shape() {
+        assert!((ppd(0.0) - 5.0).abs() < 1e-9, "5% dissatisfied at neutral");
+        assert!((ppd(1.0) - 26.0).abs() < 2.0);
+        assert!((ppd(-1.0) - ppd(1.0)).abs() < 1e-9, "symmetric");
+        assert!(ppd(3.0) > 95.0);
+    }
+
+    #[test]
+    fn bubble_zero_targets_are_comfortable() {
+        // The trial's 25 °C / 18 °C dew point with a ~22 °C panel over a
+        // quarter of the view: PMV within the ±0.5 comfort class.
+        let zone =
+            AirState::from_dew_point(Celsius::new(25.0), Celsius::new(18.0), Ppm::new(600.0));
+        let (vote, dissatisfied) = radiant_zone_comfort(zone, Celsius::new(22.0));
+        assert!(vote.abs() < 0.5, "PMV {vote}");
+        assert!(dissatisfied < 12.0, "PPD {dissatisfied}");
+    }
+
+    #[test]
+    fn outdoor_conditions_are_uncomfortable() {
+        let zone =
+            AirState::from_dew_point(Celsius::new(28.9), Celsius::new(27.4), Ppm::new(410.0));
+        let (vote, dissatisfied) = radiant_zone_comfort(zone, Celsius::new(28.9));
+        assert!(vote > 1.0, "tropical outdoor air should feel warm: {vote}");
+        assert!(dissatisfied > 30.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "metabolic rate")]
+    fn zero_met_is_rejected() {
+        let mut inputs = office(25.0, 25.0, 50.0);
+        inputs.metabolic_met = 0.0;
+        let _ = pmv(&inputs);
+    }
+}

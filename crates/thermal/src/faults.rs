@@ -1,0 +1,230 @@
+//! Actuator fault injection.
+//!
+//! A deployment-experience system earns its keep when hardware misbehaves:
+//! pumps seize, fan drivers latch up. This module injects such faults at
+//! the *plant* boundary — the physical actuator ignores its command — so
+//! the controllers' resilience can be measured: a decomposed system
+//! should degrade one subspace or one function, not the whole room.
+
+use bz_simcore::SimTime;
+
+use crate::airbox::FanLevel;
+use crate::plant::ActuatorCommands;
+
+/// A physical actuator malfunction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ActuatorFault {
+    /// An airbox fan driver latches at a level, ignoring commands.
+    FanStuck {
+        /// Which airbox (0–3).
+        airbox: usize,
+        /// The level it is stuck at.
+        level: FanLevel,
+    },
+    /// An airbox coil pump seizes (no water flow regardless of voltage).
+    CoilPumpDead {
+        /// Which airbox (0–3).
+        airbox: usize,
+    },
+    /// A radiant supply pump seizes.
+    SupplyPumpDead {
+        /// Which panel loop (0–1).
+        panel: usize,
+    },
+    /// A radiant recycle pump seizes — the anti-condensation blend is
+    /// lost; the controller must cope with pure tank water.
+    RecyclePumpDead {
+        /// Which panel loop (0–1).
+        panel: usize,
+    },
+    /// A CO₂flap motor jams closed.
+    FlapJammedClosed {
+        /// Which subspace (0–3).
+        airbox: usize,
+    },
+}
+
+/// One scheduled fault: permanent from `at` onward (with an optional
+/// repair time).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// When the fault appears.
+    pub at: SimTime,
+    /// When it is repaired (`None` = never).
+    pub repaired_at: Option<SimTime>,
+    /// What breaks.
+    pub fault: ActuatorFault,
+}
+
+impl FaultEvent {
+    /// True if the fault is active at `now`.
+    #[must_use]
+    pub fn is_active(&self, now: SimTime) -> bool {
+        now >= self.at && self.repaired_at.is_none_or(|r| now < r)
+    }
+}
+
+/// A deterministic fault schedule.
+#[derive(Debug, Clone, Default)]
+pub struct FaultSchedule {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultSchedule {
+    /// Builds a schedule from events.
+    #[must_use]
+    pub fn new(events: Vec<FaultEvent>) -> Self {
+        Self { events }
+    }
+
+    /// No faults.
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// The scheduled events.
+    #[must_use]
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// True if any fault is active at `now`.
+    #[must_use]
+    pub fn any_active(&self, now: SimTime) -> bool {
+        self.events.iter().any(|e| e.is_active(now))
+    }
+
+    /// Applies the active faults to a command set, returning what the
+    /// hardware actually does.
+    #[must_use]
+    pub fn apply(&self, commands: &ActuatorCommands, now: SimTime) -> ActuatorCommands {
+        let mut effective = *commands;
+        for event in self.events.iter().filter(|e| e.is_active(now)) {
+            match event.fault {
+                ActuatorFault::FanStuck { airbox, level } => {
+                    effective.airboxes[airbox].fan = level;
+                }
+                ActuatorFault::CoilPumpDead { airbox } => {
+                    effective.airboxes[airbox].coil_pump_voltage = bz_psychro::Volts::new(0.0);
+                }
+                ActuatorFault::SupplyPumpDead { panel } => {
+                    effective.radiant[panel].supply_voltage = bz_psychro::Volts::new(0.0);
+                }
+                ActuatorFault::RecyclePumpDead { panel } => {
+                    effective.radiant[panel].recycle_voltage = bz_psychro::Volts::new(0.0);
+                }
+                ActuatorFault::FlapJammedClosed { airbox } => {
+                    effective.airboxes[airbox].flap_open = false;
+                }
+            }
+        }
+        effective
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plant::{AirboxActuation, RadiantLoopCommand};
+    use bz_psychro::Volts;
+
+    fn live_commands() -> ActuatorCommands {
+        ActuatorCommands {
+            radiant: [RadiantLoopCommand {
+                supply_voltage: Volts::new(3.0),
+                recycle_voltage: Volts::new(2.0),
+            }; 2],
+            airboxes: [AirboxActuation {
+                coil_pump_voltage: Volts::new(4.0),
+                fan: FanLevel::L3,
+                flap_open: true,
+            }; 4],
+        }
+    }
+
+    #[test]
+    fn no_faults_passes_commands_through() {
+        let schedule = FaultSchedule::none();
+        let commands = live_commands();
+        assert_eq!(schedule.apply(&commands, SimTime::from_secs(100)), commands);
+        assert!(!schedule.any_active(SimTime::ZERO));
+    }
+
+    #[test]
+    fn faults_activate_and_repair_on_schedule() {
+        let schedule = FaultSchedule::new(vec![FaultEvent {
+            at: SimTime::from_mins(10),
+            repaired_at: Some(SimTime::from_mins(20)),
+            fault: ActuatorFault::CoilPumpDead { airbox: 1 },
+        }]);
+        let commands = live_commands();
+        let before = schedule.apply(&commands, SimTime::from_mins(5));
+        assert_eq!(before.airboxes[1].coil_pump_voltage.get(), 4.0);
+        let during = schedule.apply(&commands, SimTime::from_mins(15));
+        assert_eq!(during.airboxes[1].coil_pump_voltage.get(), 0.0);
+        // The other airboxes are untouched.
+        assert_eq!(during.airboxes[0].coil_pump_voltage.get(), 4.0);
+        let after = schedule.apply(&commands, SimTime::from_mins(25));
+        assert_eq!(after.airboxes[1].coil_pump_voltage.get(), 4.0);
+    }
+
+    #[test]
+    fn each_fault_kind_hits_its_actuator() {
+        let now = SimTime::from_mins(1);
+        let commands = live_commands();
+        let cases = vec![
+            (
+                ActuatorFault::FanStuck {
+                    airbox: 2,
+                    level: FanLevel::Off,
+                },
+                Box::new(|c: &ActuatorCommands| c.airboxes[2].fan == FanLevel::Off)
+                    as Box<dyn Fn(&ActuatorCommands) -> bool>,
+            ),
+            (
+                ActuatorFault::SupplyPumpDead { panel: 1 },
+                Box::new(|c| c.radiant[1].supply_voltage.get() == 0.0),
+            ),
+            (
+                ActuatorFault::RecyclePumpDead { panel: 0 },
+                Box::new(|c| c.radiant[0].recycle_voltage.get() == 0.0),
+            ),
+            (
+                ActuatorFault::FlapJammedClosed { airbox: 3 },
+                Box::new(|c| !c.airboxes[3].flap_open),
+            ),
+        ];
+        for (fault, check) in cases {
+            let schedule = FaultSchedule::new(vec![FaultEvent {
+                at: SimTime::ZERO,
+                repaired_at: None,
+                fault,
+            }]);
+            let effective = schedule.apply(&commands, now);
+            assert!(check(&effective), "{fault:?} not applied");
+        }
+    }
+
+    #[test]
+    fn multiple_faults_compose() {
+        let schedule = FaultSchedule::new(vec![
+            FaultEvent {
+                at: SimTime::ZERO,
+                repaired_at: None,
+                fault: ActuatorFault::CoilPumpDead { airbox: 0 },
+            },
+            FaultEvent {
+                at: SimTime::ZERO,
+                repaired_at: None,
+                fault: ActuatorFault::FanStuck {
+                    airbox: 0,
+                    level: FanLevel::L4,
+                },
+            },
+        ]);
+        let effective = schedule.apply(&live_commands(), SimTime::from_secs(1));
+        assert_eq!(effective.airboxes[0].coil_pump_voltage.get(), 0.0);
+        assert_eq!(effective.airboxes[0].fan, FanLevel::L4);
+    }
+}

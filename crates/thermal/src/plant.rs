@@ -1,0 +1,1024 @@
+//! The assembled BubbleZERO thermal plant.
+//!
+//! [`ThermalPlant`] wires together the four subspace zones, the two radiant
+//! ceiling panels with their supply/recycle mixing loops, the shared 18 °C
+//! radiant tank, the 8 °C ventilation tank feeding the four airbox coils,
+//! both chillers, the weather boundary, occupants, and the scripted
+//! door/window disturbances. It advances on a fixed step under a set of
+//! [`ActuatorCommands`] — the exact signals the paper's control boards
+//! produce (pump voltages, fan levels, flap positions) — and exposes the
+//! plant state only through the noisy sensor models of [`crate::sensors`].
+
+use bz_psychro::{
+    water_volumetric_heat_capacity, Celsius, Joules, Percent, Ppm, Seconds, Volts, Watts,
+};
+use bz_simcore::{Rng, SimDuration, SimTime};
+
+use crate::airbox::{Airbox, AirboxCommand, AirboxParams, FanLevel};
+use crate::chiller::{ChillerConfig, TankChiller};
+use crate::disturbance::DisturbanceSchedule;
+use crate::faults::FaultSchedule;
+use crate::hydronics::{mix_supply_and_recycle, Pump, Tank};
+use crate::occupancy::OccupancySchedule;
+use crate::panel::{PanelParams, RadiantPanel};
+use crate::sensors::{Co2Sensor, FlowSensor, HumiditySensor, TemperatureSensor};
+use crate::weather::{Weather, WeatherConfig};
+use crate::zone::{AirState, SubspaceId, Zone, ZoneInputs, ZoneParams};
+
+/// Pump voltages for one radiant mixing loop (Figure 3's two pumps).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RadiantLoopCommand {
+    /// Supply pump voltage (draws from the 18 °C tank), 0–5 V.
+    pub supply_voltage: Volts,
+    /// Recycle pump voltage (redirects warm return water), 0–5 V.
+    pub recycle_voltage: Volts,
+}
+
+/// Commands for one airbox / CO₂flap pair.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AirboxActuation {
+    /// Coil water pump voltage, 0–5 V.
+    pub coil_pump_voltage: Volts,
+    /// Fan speed setting.
+    pub fan: FanLevel,
+    /// Whether the CO₂flap is driven open.
+    pub flap_open: bool,
+}
+
+/// The complete actuator command set for one plant step.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ActuatorCommands {
+    /// One command per ceiling panel loop.
+    pub radiant: [RadiantLoopCommand; 2],
+    /// One command per subspace airbox.
+    pub airboxes: [AirboxActuation; 4],
+}
+
+impl ActuatorCommands {
+    /// Everything off: pumps stopped, fans stopped, flaps closed.
+    #[must_use]
+    pub fn all_off() -> Self {
+        Self::default()
+    }
+}
+
+/// Telemetry produced by the most recent plant step (ground truth — the
+/// controllers must use the sensor interface instead).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StepTelemetry {
+    /// Heat removed from the room by the radiant loops this step, W,
+    /// computed with the paper's water-side formula c·F·(T_retn − T_supp).
+    pub radiant_heat_removed_w: f64,
+    /// Heat removed from the inhaled air by the airbox coils, W.
+    pub vent_heat_removed_w: f64,
+    /// Radiant chiller electrical draw, W.
+    pub radiant_chiller_w: f64,
+    /// Ventilation chiller electrical draw, W.
+    pub vent_chiller_w: f64,
+    /// Total pump electrical draw, W.
+    pub pump_power_w: f64,
+    /// Total fan electrical draw, W.
+    pub fan_power_w: f64,
+    /// Condensate formed on panel surfaces this step, kg (should be 0).
+    pub panel_condensate_kg: f64,
+    /// Condensate drained from the airbox coils this step, kg (normal).
+    pub airbox_condensate_kg: f64,
+}
+
+/// Integrated energy meters (resettable, for steady-state COP windows).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyMeters {
+    /// Radiant heat removed, J.
+    pub radiant_removed: Joules,
+    /// Ventilation heat removed, J.
+    pub vent_removed: Joules,
+    /// Radiant chiller electrical energy, J.
+    pub radiant_chiller: Joules,
+    /// Ventilation chiller electrical energy, J.
+    pub vent_chiller: Joules,
+    /// Pump electrical energy, J.
+    pub pumps: Joules,
+    /// Fan electrical energy, J.
+    pub fans: Joules,
+    /// Time accumulated by the meters, s.
+    pub elapsed: Seconds,
+}
+
+/// Full plant configuration.
+#[derive(Debug, Clone)]
+pub struct PlantConfig {
+    /// Parameters shared by the four subspaces.
+    pub zone: ZoneParams,
+    /// Parameters shared by the two ceiling panels.
+    pub panel: PanelParams,
+    /// Parameters shared by the four airboxes.
+    pub airbox: AirboxParams,
+    /// Radiant (18 °C) chiller configuration.
+    pub radiant_chiller: ChillerConfig,
+    /// Ventilation (8 °C) chiller configuration.
+    pub vent_chiller: ChillerConfig,
+    /// Weather boundary.
+    pub weather: WeatherConfig,
+    /// Scripted door/window events.
+    pub disturbances: DisturbanceSchedule,
+    /// Scripted actuator faults.
+    pub faults: FaultSchedule,
+    /// Scripted occupancy.
+    pub occupancy: OccupancySchedule,
+    /// Turbulent mixing flow between adjacent subspaces, m³/s.
+    pub interzone_mixing_m3s: f64,
+    /// Initial indoor state (the paper's trial starts with indoor ≈
+    /// outdoor).
+    pub initial_indoor: (Celsius, Celsius),
+    /// Initial indoor CO₂, ppm.
+    pub initial_co2: f64,
+    /// RNG seed for weather wander and sensor noise.
+    pub seed: u64,
+}
+
+impl PlantConfig {
+    /// The calibrated BubbleZERO laboratory on the paper's trial afternoon
+    /// (disturbances are left empty; scenarios add their own scripts).
+    #[must_use]
+    pub fn bubble_zero_lab() -> Self {
+        Self {
+            zone: ZoneParams::bubble_zero_subspace(),
+            panel: PanelParams::bubble_zero_panel(),
+            airbox: AirboxParams::bubble_zero_airbox(),
+            radiant_chiller: ChillerConfig::radiant_18c(),
+            vent_chiller: ChillerConfig::ventilation_8c(),
+            weather: WeatherConfig::singapore_afternoon(),
+            disturbances: DisturbanceSchedule::none(),
+            faults: FaultSchedule::none(),
+            occupancy: OccupancySchedule::empty(),
+            interzone_mixing_m3s: 0.04,
+            initial_indoor: (Celsius::new(28.9), Celsius::new(27.4)),
+            initial_co2: 520.0,
+            seed: 0xB0BB_1E2E,
+        }
+    }
+
+    /// Same lab with a different seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Same lab with a disturbance script.
+    #[must_use]
+    pub fn with_disturbances(mut self, disturbances: DisturbanceSchedule) -> Self {
+        self.disturbances = disturbances;
+        self
+    }
+
+    /// Same lab with an occupancy script.
+    #[must_use]
+    pub fn with_occupancy(mut self, occupancy: OccupancySchedule) -> Self {
+        self.occupancy = occupancy;
+        self
+    }
+
+    /// Same lab with an actuator-fault script.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultSchedule) -> Self {
+        self.faults = faults;
+        self
+    }
+}
+
+/// The sensor instruments attached to the plant.
+#[derive(Debug, Clone)]
+struct Instruments {
+    /// Room air temperature+RH sensor per subspace.
+    room: [HumiditySensor; 4],
+    /// Six ceiling-surface-air sensors per panel (3 under each served
+    /// subspace), as in Figure 4(b).
+    ceiling: Vec<HumiditySensor>,
+    /// Pipe temperature sensors: per panel [T_mix, T_rcyc], plus the two
+    /// tank supply temperatures.
+    pipe_mix: [TemperatureSensor; 2],
+    pipe_return: [TemperatureSensor; 2],
+    tank_supply: TemperatureSensor,
+    vent_supply: TemperatureSensor,
+    /// Flow sensors: per panel [F_mix, F_supp, F_rcyc].
+    flow: Vec<FlowSensor>,
+    /// Airbox outlet SHT75 per airbox.
+    outlet: [HumiditySensor; 4],
+    /// Coil flow sensor per airbox.
+    coil_flow: [FlowSensor; 4],
+    /// CO₂ sensor per subspace (on the CO₂flap boards).
+    co2: [Co2Sensor; 4],
+}
+
+impl Instruments {
+    fn new(rng: &mut Rng) -> Self {
+        Self {
+            room: std::array::from_fn(|_| HumiditySensor::new(rng)),
+            ceiling: (0..12).map(|_| HumiditySensor::new(rng)).collect(),
+            pipe_mix: std::array::from_fn(|_| TemperatureSensor::new(rng)),
+            pipe_return: std::array::from_fn(|_| TemperatureSensor::new(rng)),
+            tank_supply: TemperatureSensor::new(rng),
+            vent_supply: TemperatureSensor::new(rng),
+            flow: (0..6).map(|_| FlowSensor::new(rng)).collect(),
+            outlet: std::array::from_fn(|_| HumiditySensor::new(rng)),
+            coil_flow: std::array::from_fn(|_| FlowSensor::new(rng)),
+            co2: std::array::from_fn(|_| Co2Sensor::new(rng)),
+        }
+    }
+}
+
+/// State of one radiant mixing loop between steps.
+#[derive(Debug, Clone, Copy)]
+struct LoopState {
+    /// Water temperature in the return pipe (from the last step).
+    return_temp: Celsius,
+    /// Mixed temperature and flow achieved on the last step.
+    mixed_temp: Celsius,
+    mixed_flow_m3s: f64,
+    supply_flow_m3s: f64,
+    recycle_flow_m3s: f64,
+}
+
+/// The assembled laboratory.
+#[derive(Debug, Clone)]
+pub struct ThermalPlant {
+    config: PlantConfig,
+    now: SimTime,
+    weather: Weather,
+    outdoor: AirState,
+    zones: [Zone; 4],
+    panels: [RadiantPanel; 2],
+    loops: [LoopState; 2],
+    radiant_tank: Tank,
+    vent_tank: Tank,
+    radiant_chiller: TankChiller,
+    vent_chiller: TankChiller,
+    supply_pumps: [Pump; 2],
+    recycle_pumps: [Pump; 2],
+    coil_pumps: [Pump; 4],
+    airboxes: [Airbox; 4],
+    /// Last airbox outlet states (for the outlet sensors).
+    outlet_states: [AirState; 4],
+    /// Last coil water flows (for the coil flow sensors).
+    coil_flows: [f64; 4],
+    instruments: Instruments,
+    telemetry: StepTelemetry,
+    meters: EnergyMeters,
+    last_zone_inputs: [ZoneInputs; 4],
+}
+
+/// Adjacent-subspace pairs in the 2×2 layout (S1 S2 / S3 S4).
+const ADJACENCY: [(usize, usize); 4] = [(0, 1), (2, 3), (0, 2), (1, 3)];
+
+impl ThermalPlant {
+    /// Builds the plant in its initial condition.
+    #[must_use]
+    pub fn new(config: PlantConfig) -> Self {
+        let mut rng = Rng::seed_from(config.seed);
+        let mut weather = Weather::new(config.weather, rng.fork());
+        let outdoor = weather.sample(SimTime::ZERO);
+        let (t0, dew0) = config.initial_indoor;
+        let indoor = AirState::from_dew_point(t0, dew0, Ppm::new(config.initial_co2));
+        let zones = std::array::from_fn(|_| Zone::new(config.zone, indoor));
+        let panels = std::array::from_fn(|_| RadiantPanel::new(config.panel, t0));
+        let radiant_tank = Tank::new(0.2, config.radiant_chiller.setpoint);
+        let vent_tank = Tank::new(0.15, config.vent_chiller.setpoint);
+        let loops = [LoopState {
+            return_temp: config.radiant_chiller.setpoint,
+            mixed_temp: config.radiant_chiller.setpoint,
+            mixed_flow_m3s: 0.0,
+            supply_flow_m3s: 0.0,
+            recycle_flow_m3s: 0.0,
+        }; 2];
+        let instruments = Instruments::new(&mut rng);
+        Self {
+            radiant_chiller: TankChiller::new(config.radiant_chiller),
+            vent_chiller: TankChiller::new(config.vent_chiller),
+            config,
+            now: SimTime::ZERO,
+            weather,
+            outdoor,
+            zones,
+            panels,
+            loops,
+            radiant_tank,
+            vent_tank,
+            supply_pumps: [Pump::radiant_loop(); 2],
+            recycle_pumps: [Pump::radiant_loop(); 2],
+            coil_pumps: [Pump::airbox_coil(); 4],
+            airboxes: std::array::from_fn(|_| Airbox::new(AirboxParams::bubble_zero_airbox())),
+            outlet_states: [indoor; 4],
+            coil_flows: [0.0; 4],
+            instruments,
+            telemetry: StepTelemetry::default(),
+            meters: EnergyMeters::default(),
+            last_zone_inputs: Default::default(),
+        }
+    }
+
+    /// Current simulation time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The configuration the plant was built with.
+    #[must_use]
+    pub fn config(&self) -> &PlantConfig {
+        &self.config
+    }
+
+    /// Advances the plant by `dt` under `commands`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is zero.
+    pub fn step(&mut self, dt: SimDuration, commands: &ActuatorCommands) {
+        assert!(!dt.is_zero(), "plant step must advance time");
+        let dt_s = dt.as_secs_f64();
+        self.now += dt;
+        self.outdoor = self.weather.sample(self.now);
+
+        // Physical actuators apply their faults regardless of commands.
+        let commands = &self.config.faults.apply(commands, self.now);
+
+        let opening = self.config.disturbances.exchange_at(self.now);
+        let rates = self.config.occupancy.rates();
+
+        let mut telemetry = StepTelemetry::default();
+
+        // --- Radiant loops ------------------------------------------------
+        let mut hvac_sensible = [0.0f64; 4];
+        let mut hvac_condensation = [0.0f64; 4];
+        for panel_idx in 0..2 {
+            let cmd = commands.radiant[panel_idx];
+            let supply_flow = self.supply_pumps[panel_idx].flow(cmd.supply_voltage);
+            let recycle_flow = self.recycle_pumps[panel_idx].flow(cmd.recycle_voltage);
+            telemetry.pump_power_w += self.supply_pumps[panel_idx]
+                .electrical_power(cmd.supply_voltage)
+                + self.recycle_pumps[panel_idx].electrical_power(cmd.recycle_voltage);
+
+            let loop_state = &mut self.loops[panel_idx];
+            let zone_a = 2 * panel_idx;
+            let zone_b = zone_a + 1;
+            let zone_states = [self.zones[zone_a].state(), self.zones[zone_b].state()];
+
+            match mix_supply_and_recycle(
+                supply_flow,
+                recycle_flow,
+                self.radiant_tank.temperature(),
+                loop_state.return_temp,
+            ) {
+                Some(mix) => {
+                    let step = self.panels[panel_idx].step(
+                        dt_s,
+                        mix.mixed_temp,
+                        mix.mixed_flow_m3s,
+                        zone_states,
+                    );
+                    hvac_sensible[zone_a] -= step.heat_from_zones_w[0];
+                    hvac_sensible[zone_b] -= step.heat_from_zones_w[1];
+                    hvac_condensation[zone_a] += step.zone_condensation_kg_s[0];
+                    hvac_condensation[zone_b] += step.zone_condensation_kg_s[1];
+                    telemetry.panel_condensate_kg += step.condensate_kg;
+
+                    // Paper's water-side accounting: c·F·(T_retn − T_supp)
+                    // on the tank loop.
+                    let c = water_volumetric_heat_capacity(self.radiant_tank.temperature());
+                    telemetry.radiant_heat_removed_w += c
+                        * mix.tank_flow_m3s
+                        * (step.water_return_temp.get() - self.radiant_tank.temperature().get());
+
+                    self.radiant_tank
+                        .mix_return(mix.tank_flow_m3s, step.water_return_temp, dt_s);
+                    loop_state.return_temp = step.water_return_temp;
+                    loop_state.mixed_temp = mix.mixed_temp;
+                    loop_state.mixed_flow_m3s = mix.mixed_flow_m3s;
+                    loop_state.supply_flow_m3s = supply_flow;
+                    loop_state.recycle_flow_m3s = recycle_flow;
+                }
+                None => {
+                    // Stagnant loop: the panel floats against the room.
+                    let step =
+                        self.panels[panel_idx].step(dt_s, loop_state.mixed_temp, 0.0, zone_states);
+                    hvac_sensible[zone_a] -= step.heat_from_zones_w[0];
+                    hvac_sensible[zone_b] -= step.heat_from_zones_w[1];
+                    hvac_condensation[zone_a] += step.zone_condensation_kg_s[0];
+                    hvac_condensation[zone_b] += step.zone_condensation_kg_s[1];
+                    telemetry.panel_condensate_kg += step.condensate_kg;
+                    loop_state.mixed_flow_m3s = 0.0;
+                    loop_state.supply_flow_m3s = 0.0;
+                    loop_state.recycle_flow_m3s = 0.0;
+                }
+            }
+        }
+
+        // --- Airboxes -----------------------------------------------------
+        let mut zone_inputs: [ZoneInputs; 4] = Default::default();
+        for (i, inputs) in zone_inputs.iter_mut().enumerate() {
+            let act = commands.airboxes[i];
+            let coil_flow = self.coil_pumps[i].flow(act.coil_pump_voltage);
+            self.coil_flows[i] = coil_flow;
+            telemetry.pump_power_w += self.coil_pumps[i].electrical_power(act.coil_pump_voltage);
+
+            let command = AirboxCommand {
+                fan: act.fan,
+                coil_water_flow_m3s: coil_flow,
+                flap_open: act.flap_open,
+            };
+            let step =
+                self.airboxes[i].step(dt_s, &command, self.outdoor, self.vent_tank.temperature());
+            telemetry.fan_power_w += step.fan_power_w;
+            telemetry.vent_heat_removed_w += step.heat_to_water_w;
+            telemetry.airbox_condensate_kg += step.condensate_kg;
+            self.outlet_states[i] = step.supply;
+
+            if coil_flow > 0.0 {
+                self.vent_tank
+                    .mix_return(coil_flow, step.water_return_temp, dt_s);
+            }
+
+            let subspace = SubspaceId::from_index(i);
+            let headcount = f64::from(self.config.occupancy.headcount(subspace, self.now));
+            *inputs = ZoneInputs {
+                hvac_sensible_w: hvac_sensible[i],
+                hvac_condensation_kg_s: hvac_condensation[i],
+                occupant_sensible_w: headcount * rates.sensible_w,
+                occupant_latent_kg_s: headcount * rates.latent_kg_s,
+                occupant_co2_m3s: headcount * rates.co2_m3s,
+                ventilation_m3s: step.supply_flow_m3s,
+                ventilation_temp: step.supply.temperature,
+                ventilation_ratio: step.supply.humidity_ratio,
+                ventilation_co2: step.supply.co2,
+                opening_exchange_m3s: opening[i],
+            };
+        }
+
+        // --- Zones (using pre-step neighbor states for symmetry) ----------
+        self.last_zone_inputs = zone_inputs;
+        let pre_states: [AirState; 4] = std::array::from_fn(|i| self.zones[i].state());
+        for (i, zone) in self.zones.iter_mut().enumerate() {
+            let neighbors: Vec<(f64, AirState)> = ADJACENCY
+                .iter()
+                .filter_map(|&(a, b)| {
+                    if a == i {
+                        Some((self.config.interzone_mixing_m3s, pre_states[b]))
+                    } else if b == i {
+                        Some((self.config.interzone_mixing_m3s, pre_states[a]))
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            zone.step(dt_s, &zone_inputs[i], self.outdoor, &neighbors);
+        }
+
+        // --- Tanks and chillers --------------------------------------------
+        // Standby gains: tanks sit in the warm plant room.
+        let room_mean = pre_states.iter().map(|s| s.temperature.get()).sum::<f64>() / 4.0;
+        self.radiant_tank.apply_heat(
+            1.5 * (room_mean - self.radiant_tank.temperature().get()),
+            dt_s,
+        );
+        self.vent_tank
+            .apply_heat(1.5 * (room_mean - self.vent_tank.temperature().get()), dt_s);
+
+        self.radiant_chiller.regulate(&mut self.radiant_tank, dt_s);
+        self.vent_chiller.regulate(&mut self.vent_tank, dt_s);
+        telemetry.radiant_chiller_w = self.radiant_chiller.electrical_power().get();
+        telemetry.vent_chiller_w = self.vent_chiller.electrical_power().get();
+
+        // --- Meters ---------------------------------------------------------
+        let dt_sec = Seconds::new(dt_s);
+        self.meters.radiant_removed += Watts::new(telemetry.radiant_heat_removed_w) * dt_sec;
+        self.meters.vent_removed += Watts::new(telemetry.vent_heat_removed_w) * dt_sec;
+        self.meters.radiant_chiller += Watts::new(telemetry.radiant_chiller_w) * dt_sec;
+        self.meters.vent_chiller += Watts::new(telemetry.vent_chiller_w) * dt_sec;
+        self.meters.pumps += Watts::new(telemetry.pump_power_w) * dt_sec;
+        self.meters.fans += Watts::new(telemetry.fan_power_w) * dt_sec;
+        self.meters.elapsed += dt_sec;
+
+        self.telemetry = telemetry;
+    }
+
+    // --- Ground-truth accessors (for assertions and figures, not control) --
+
+    /// True air state of a subspace.
+    #[must_use]
+    pub fn zone_state(&self, id: SubspaceId) -> AirState {
+        self.zones[id.index()].state()
+    }
+
+    /// True dry-bulb temperature of a subspace.
+    #[must_use]
+    pub fn zone_temperature(&self, id: SubspaceId) -> Celsius {
+        self.zone_state(id).temperature
+    }
+
+    /// True dew point of a subspace.
+    #[must_use]
+    pub fn zone_dew_point(&self, id: SubspaceId) -> Celsius {
+        self.zone_state(id).dew_point()
+    }
+
+    /// Current outdoor air state.
+    #[must_use]
+    pub fn outdoor(&self) -> AirState {
+        self.outdoor
+    }
+
+    /// True panel surface temperature.
+    #[must_use]
+    pub fn panel_surface(&self, panel: usize) -> Celsius {
+        self.panels[panel].surface_temperature()
+    }
+
+    /// Total condensate ever formed on the panels, kg.
+    #[must_use]
+    pub fn panel_condensate_total(&self) -> f64 {
+        self.panels.iter().map(RadiantPanel::total_condensate).sum()
+    }
+
+    /// True radiant tank temperature.
+    #[must_use]
+    pub fn radiant_tank_temperature(&self) -> Celsius {
+        self.radiant_tank.temperature()
+    }
+
+    /// True ventilation tank temperature.
+    #[must_use]
+    pub fn vent_tank_temperature(&self) -> Celsius {
+        self.vent_tank.temperature()
+    }
+
+    /// True mixed-water temperature entering a panel.
+    #[must_use]
+    pub fn loop_mixed_temp(&self, panel: usize) -> Celsius {
+        self.loops[panel].mixed_temp
+    }
+
+    /// True mixed flow through a panel, m³/s.
+    #[must_use]
+    pub fn loop_mixed_flow(&self, panel: usize) -> f64 {
+        self.loops[panel].mixed_flow_m3s
+    }
+
+    /// True outlet air state of an airbox after the last step.
+    #[must_use]
+    pub fn airbox_outlet_state(&self, airbox: usize) -> AirState {
+        self.outlet_states[airbox]
+    }
+
+    /// True coil water flow of an airbox after the last step, m³/s.
+    #[must_use]
+    pub fn airbox_coil_flow(&self, airbox: usize) -> f64 {
+        self.coil_flows[airbox]
+    }
+
+    /// The exogenous inputs applied to each zone on the most recent step
+    /// (diagnostics).
+    #[must_use]
+    pub fn last_zone_inputs(&self) -> &[ZoneInputs; 4] {
+        &self.last_zone_inputs
+    }
+
+    /// Telemetry of the most recent step.
+    #[must_use]
+    pub fn telemetry(&self) -> &StepTelemetry {
+        &self.telemetry
+    }
+
+    /// Integrated energy meters.
+    #[must_use]
+    pub fn meters(&self) -> &EnergyMeters {
+        &self.meters
+    }
+
+    /// Resets the integrated meters (for steady-state windows) — both the
+    /// plant meters and the chillers' internal meters.
+    pub fn reset_meters(&mut self) {
+        self.meters = EnergyMeters::default();
+        self.radiant_chiller.reset_meters();
+        self.vent_chiller.reset_meters();
+    }
+
+    // --- Sensor interface (what the control boards see) --------------------
+
+    /// Room SHT75 reading for a subspace: (temperature, relative humidity).
+    pub fn read_room(&mut self, id: SubspaceId) -> (Celsius, Percent) {
+        let state = self.zones[id.index()].state();
+        let sensor = &mut self.instruments.room[id.index()];
+        (
+            sensor.read_temp(state.temperature),
+            sensor.read_rh(state.relative_humidity()),
+        )
+    }
+
+    /// The six ceiling sensors under a panel: (temperature, RH) for each.
+    /// Three sensors sit under each of the two served subspaces; the air
+    /// they sample is slightly cooler than the bulk zone air because of
+    /// the cold panel above (a 30% blend toward the surface temperature).
+    pub fn read_ceiling(&mut self, panel: usize) -> Vec<(Celsius, Percent)> {
+        let surface = self.panels[panel].surface_temperature();
+        let mut readings = Vec::with_capacity(6);
+        for k in 0..6 {
+            let zone_idx = 2 * panel + (k / 3);
+            let state = self.zones[zone_idx].state();
+            // Near-ceiling air: blend of bulk air and panel surface.
+            let near_t = 0.7 * state.temperature.get() + 0.3 * surface.get();
+            // Humidity *ratio* is unchanged near the ceiling; RH rises as
+            // the air cools.
+            let near = AirState {
+                temperature: Celsius::new(near_t),
+                ..state
+            };
+            let sensor = &mut self.instruments.ceiling[panel * 6 + k];
+            readings.push((
+                sensor.read_temp(near.temperature),
+                sensor.read_rh(near.relative_humidity()),
+            ));
+        }
+        readings
+    }
+
+    /// A single ceiling sensor (`k` in 0–5) under a panel: (temperature,
+    /// RH). Same air model as [`ThermalPlant::read_ceiling`].
+    pub fn read_ceiling_sensor(&mut self, panel: usize, k: usize) -> (Celsius, Percent) {
+        let surface = self.panels[panel].surface_temperature();
+        let zone_idx = 2 * panel + (k / 3);
+        let state = self.zones[zone_idx].state();
+        let near_t = 0.7 * state.temperature.get() + 0.3 * surface.get();
+        let near = AirState {
+            temperature: Celsius::new(near_t),
+            ..state
+        };
+        let sensor = &mut self.instruments.ceiling[panel * 6 + k];
+        (
+            sensor.read_temp(near.temperature),
+            sensor.read_rh(near.relative_humidity()),
+        )
+    }
+
+    /// ADT7410 reading of the mixed-water temperature for a panel loop.
+    pub fn read_mixed_temp(&mut self, panel: usize) -> Celsius {
+        self.instruments.pipe_mix[panel].read(self.loops[panel].mixed_temp)
+    }
+
+    /// ADT7410 reading of the loop return temperature.
+    pub fn read_return_temp(&mut self, panel: usize) -> Celsius {
+        self.instruments.pipe_return[panel].read(self.loops[panel].return_temp)
+    }
+
+    /// ADT7410 reading of the radiant tank supply temperature.
+    pub fn read_supply_temp(&mut self) -> Celsius {
+        self.instruments
+            .tank_supply
+            .read(self.radiant_tank.temperature())
+    }
+
+    /// ADT7410 reading of the ventilation tank supply temperature.
+    pub fn read_vent_supply_temp(&mut self) -> Celsius {
+        self.instruments
+            .vent_supply
+            .read(self.vent_tank.temperature())
+    }
+
+    /// VISION-2000 reading of the mixed loop flow, m³/s.
+    pub fn read_mixed_flow(&mut self, panel: usize) -> f64 {
+        self.instruments.flow[panel * 3].read(self.loops[panel].mixed_flow_m3s)
+    }
+
+    /// VISION-2000 reading of the supply (tank-side) flow, m³/s.
+    pub fn read_supply_flow(&mut self, panel: usize) -> f64 {
+        self.instruments.flow[panel * 3 + 1].read(self.loops[panel].supply_flow_m3s)
+    }
+
+    /// VISION-2000 reading of the recycle flow, m³/s.
+    pub fn read_recycle_flow(&mut self, panel: usize) -> f64 {
+        self.instruments.flow[panel * 3 + 2].read(self.loops[panel].recycle_flow_m3s)
+    }
+
+    /// SHT75 reading at an airbox outlet: (temperature, RH).
+    pub fn read_airbox_outlet(&mut self, airbox: usize) -> (Celsius, Percent) {
+        let state = self.outlet_states[airbox];
+        let sensor = &mut self.instruments.outlet[airbox];
+        (
+            sensor.read_temp(state.temperature),
+            sensor.read_rh(state.relative_humidity()),
+        )
+    }
+
+    /// VISION-2000 reading of an airbox coil water flow, m³/s.
+    pub fn read_coil_flow(&mut self, airbox: usize) -> f64 {
+        self.instruments.coil_flow[airbox].read(self.coil_flows[airbox])
+    }
+
+    /// CO₂ reading for a subspace.
+    pub fn read_co2(&mut self, id: SubspaceId) -> Ppm {
+        let truth = self.zones[id.index()].state().co2;
+        self.instruments.co2[id.index()].read(truth)
+    }
+
+    /// The coil pump model for an airbox (controllers need the
+    /// voltage↔flow curve to compute commands).
+    #[must_use]
+    pub fn coil_pump(&self, airbox: usize) -> &Pump {
+        &self.coil_pumps[airbox]
+    }
+
+    /// The radiant loop pump model (supply and recycle pumps are
+    /// identical units).
+    #[must_use]
+    pub fn loop_pump(&self) -> &Pump {
+        &self.supply_pumps[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lab() -> ThermalPlant {
+        ThermalPlant::new(PlantConfig::bubble_zero_lab())
+    }
+
+    fn second() -> SimDuration {
+        SimDuration::from_secs(1)
+    }
+
+    #[test]
+    fn initial_condition_matches_paper() {
+        let plant = lab();
+        for id in SubspaceId::ALL {
+            assert!((plant.zone_temperature(id).get() - 28.9).abs() < 1e-9);
+            assert!((plant.zone_dew_point(id).get() - 27.4).abs() < 1e-6);
+        }
+        assert!((plant.radiant_tank_temperature().get() - 18.0).abs() < 1e-9);
+        assert!((plant.vent_tank_temperature().get() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_off_stays_warm_and_humid() {
+        let mut plant = lab();
+        for _ in 0..1_800 {
+            plant.step(second(), &ActuatorCommands::all_off());
+        }
+        for id in SubspaceId::ALL {
+            assert!(plant.zone_temperature(id).get() > 27.5);
+            assert!(plant.zone_dew_point(id).get() > 26.0);
+        }
+        assert_eq!(plant.telemetry().fan_power_w, 0.0);
+    }
+
+    #[test]
+    fn full_radiant_cooling_pulls_temperature_down() {
+        let mut plant = lab();
+        let commands = ActuatorCommands {
+            radiant: [RadiantLoopCommand {
+                supply_voltage: Volts::new(5.0),
+                recycle_voltage: Volts::new(0.0),
+            }; 2],
+            airboxes: Default::default(),
+        };
+        for _ in 0..2_400 {
+            plant.step(second(), &commands);
+        }
+        for id in SubspaceId::ALL {
+            let t = plant.zone_temperature(id).get();
+            assert!(t < 27.0, "{id} still at {t}°C");
+        }
+        assert!(plant.telemetry().radiant_heat_removed_w > 300.0);
+        assert!(plant.telemetry().radiant_chiller_w > 0.0);
+    }
+
+    #[test]
+    fn full_ventilation_dries_the_room() {
+        let mut plant = lab();
+        let commands = ActuatorCommands {
+            radiant: Default::default(),
+            airboxes: [AirboxActuation {
+                coil_pump_voltage: Volts::new(5.0),
+                fan: FanLevel::L4,
+                flap_open: true,
+            }; 4],
+        };
+        let dew0 = plant.zone_dew_point(SubspaceId::S1).get();
+        for _ in 0..2_400 {
+            plant.step(second(), &commands);
+        }
+        for id in SubspaceId::ALL {
+            let dew = plant.zone_dew_point(id).get();
+            assert!(dew < dew0 - 4.0, "{id} dew only fell to {dew}");
+        }
+        assert!(plant.telemetry().vent_heat_removed_w > 50.0);
+        assert!(plant.telemetry().airbox_condensate_kg > 0.0);
+    }
+
+    #[test]
+    fn uncontrolled_chilled_panel_eventually_condenses() {
+        // Supplying 18 °C water straight into a 27.4 °C-dew-point room
+        // *must* condense — this is the failure mode the paper's radiant
+        // controller exists to prevent.
+        let mut plant = lab();
+        let commands = ActuatorCommands {
+            radiant: [RadiantLoopCommand {
+                supply_voltage: Volts::new(5.0),
+                recycle_voltage: Volts::new(0.0),
+            }; 2],
+            airboxes: Default::default(),
+        };
+        for _ in 0..3_600 {
+            plant.step(second(), &commands);
+        }
+        assert!(
+            plant.panel_condensate_total() > 0.0,
+            "panel at {} vs dew {}",
+            plant.panel_surface(0),
+            plant.zone_dew_point(SubspaceId::S1)
+        );
+    }
+
+    #[test]
+    fn sensors_track_truth() {
+        let mut plant = lab();
+        for _ in 0..60 {
+            plant.step(second(), &ActuatorCommands::all_off());
+        }
+        let (t, rh) = plant.read_room(SubspaceId::S1);
+        let truth = plant.zone_state(SubspaceId::S1);
+        assert!((t.get() - truth.temperature.get()).abs() < 0.5);
+        assert!((rh.get() - truth.relative_humidity().get()).abs() < 3.0);
+        let ceiling = plant.read_ceiling(0);
+        assert_eq!(ceiling.len(), 6);
+        let co2 = plant.read_co2(SubspaceId::S2);
+        assert!((co2.get() - truth.co2.get()).abs() < 60.0);
+    }
+
+    #[test]
+    fn pipe_sensors_follow_loop_state() {
+        let mut plant = lab();
+        let commands = ActuatorCommands {
+            radiant: [RadiantLoopCommand {
+                supply_voltage: Volts::new(4.0),
+                recycle_voltage: Volts::new(2.0),
+            }; 2],
+            airboxes: Default::default(),
+        };
+        for _ in 0..300 {
+            plant.step(second(), &commands);
+        }
+        let mix_reading = plant.read_mixed_temp(0);
+        let truth = plant.loop_mixed_temp(0);
+        assert!((mix_reading.get() - truth.get()).abs() < 0.7);
+        // Recycle mixing keeps T_mix above the tank temperature.
+        assert!(truth.get() > plant.radiant_tank_temperature().get());
+        let flow = plant.loop_mixed_flow(0);
+        assert!(flow > 0.0);
+    }
+
+    #[test]
+    fn door_event_perturbs_subspace_one_most() {
+        use crate::disturbance::{OpeningEvent, OpeningKind};
+        let schedule = DisturbanceSchedule::new(vec![OpeningEvent {
+            at: SimTime::from_secs(60),
+            duration: SimDuration::from_secs(120),
+            kind: OpeningKind::Door,
+        }]);
+        let config = PlantConfig::bubble_zero_lab().with_disturbances(schedule);
+        let mut plant = ThermalPlant::new(config);
+        // Pre-dry the room so the disturbance is visible.
+        let commands = ActuatorCommands {
+            radiant: Default::default(),
+            airboxes: [AirboxActuation {
+                coil_pump_voltage: Volts::new(5.0),
+                fan: FanLevel::L4,
+                flap_open: true,
+            }; 4],
+        };
+        // The event fires at t=60 s. With the fans at full blast the net
+        // dew point may keep falling even while the door is open, so the
+        // localized effect shows as S1 diverging *above* S4 (which only
+        // sees the event indirectly through inter-zone mixing).
+        for _ in 0..59 {
+            plant.step(second(), &commands);
+        }
+        let gap_before =
+            plant.zone_dew_point(SubspaceId::S1).get() - plant.zone_dew_point(SubspaceId::S4).get();
+        let mut gap_peak = f64::NEG_INFINITY;
+        for _ in 0..140 {
+            plant.step(second(), &commands);
+            let gap = plant.zone_dew_point(SubspaceId::S1).get()
+                - plant.zone_dew_point(SubspaceId::S4).get();
+            gap_peak = gap_peak.max(gap);
+        }
+        assert!(
+            gap_peak - gap_before > 0.1,
+            "door should push S1's dew above S4's: gap went {gap_before:.3} -> {gap_peak:.3}"
+        );
+    }
+
+    #[test]
+    fn meters_accumulate_and_reset() {
+        let mut plant = lab();
+        let commands = ActuatorCommands {
+            radiant: [RadiantLoopCommand {
+                supply_voltage: Volts::new(5.0),
+                recycle_voltage: Volts::new(0.0),
+            }; 2],
+            airboxes: Default::default(),
+        };
+        for _ in 0..600 {
+            plant.step(second(), &commands);
+        }
+        assert!(plant.meters().radiant_removed.get() > 0.0);
+        assert!(plant.meters().radiant_chiller.get() > 0.0);
+        assert!((plant.meters().elapsed.get() - 600.0).abs() < 1e-9);
+        plant.reset_meters();
+        assert_eq!(plant.meters().radiant_removed.get(), 0.0);
+        assert_eq!(plant.meters().elapsed.get(), 0.0);
+    }
+
+    #[test]
+    fn plant_is_deterministic_for_same_seed() {
+        let mut a = ThermalPlant::new(PlantConfig::bubble_zero_lab().with_seed(99));
+        let mut b = ThermalPlant::new(PlantConfig::bubble_zero_lab().with_seed(99));
+        let commands = ActuatorCommands {
+            radiant: [RadiantLoopCommand {
+                supply_voltage: Volts::new(3.0),
+                recycle_voltage: Volts::new(1.0),
+            }; 2],
+            airboxes: [AirboxActuation {
+                coil_pump_voltage: Volts::new(2.0),
+                fan: FanLevel::L2,
+                flap_open: true,
+            }; 4],
+        };
+        for _ in 0..300 {
+            a.step(second(), &commands);
+            b.step(second(), &commands);
+        }
+        for id in SubspaceId::ALL {
+            assert_eq!(a.zone_state(id), b.zone_state(id));
+        }
+        assert_eq!(a.read_room(SubspaceId::S1), b.read_room(SubspaceId::S1));
+    }
+
+    #[test]
+    fn occupants_load_their_subspace() {
+        use crate::occupancy::{OccupancyChange, OccupancySchedule};
+        let occupancy = OccupancySchedule::new(vec![OccupancyChange {
+            at: SimTime::ZERO,
+            subspace: SubspaceId::S4,
+            count: 3,
+        }]);
+        let config = PlantConfig::bubble_zero_lab().with_occupancy(occupancy);
+        let mut plant = ThermalPlant::new(config);
+        for _ in 0..1_200 {
+            plant.step(second(), &ActuatorCommands::all_off());
+        }
+        let occupied = plant.zone_state(SubspaceId::S4);
+        let empty = plant.zone_state(SubspaceId::S2);
+        assert!(
+            occupied.co2.get() > empty.co2.get() + 100.0,
+            "occupied CO₂ {} vs empty {}",
+            occupied.co2,
+            empty.co2
+        );
+        assert!(occupied.temperature.get() > empty.temperature.get());
+        assert!(occupied.humidity_ratio.get() > empty.humidity_ratio.get());
+    }
+
+    #[test]
+    fn faulty_actuators_are_applied_at_the_plant_boundary() {
+        use crate::faults::{ActuatorFault, FaultEvent, FaultSchedule};
+        let faults = FaultSchedule::new(vec![FaultEvent {
+            at: SimTime::ZERO,
+            repaired_at: None,
+            fault: ActuatorFault::FanStuck {
+                airbox: 0,
+                level: FanLevel::L4,
+            },
+        }]);
+        let config = PlantConfig::bubble_zero_lab().with_faults(faults);
+        let mut plant = ThermalPlant::new(config);
+        // Commands say "everything off", but the stuck fan runs anyway.
+        for _ in 0..60 {
+            plant.step(second(), &ActuatorCommands::all_off());
+        }
+        assert!(
+            plant.last_zone_inputs()[0].ventilation_m3s > 0.0,
+            "the stuck fan must move air regardless of commands"
+        );
+        assert!(plant.telemetry().fan_power_w > 0.0);
+        // The healthy airboxes obey the off command.
+        assert_eq!(plant.last_zone_inputs()[1].ventilation_m3s, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must advance time")]
+    fn zero_step_panics() {
+        let mut plant = lab();
+        plant.step(SimDuration::ZERO, &ActuatorCommands::all_off());
+    }
+}

@@ -1,0 +1,287 @@
+//! Sensor models: what the controllers actually see.
+//!
+//! BubbleZERO deploys 38 sensors of different types (§III-A). The control
+//! loops never observe the plant's true state — they observe ADT7410
+//! temperature readings (±0.5 °C accuracy, 0.0625 °C quantization), SHT75
+//! humidity readings, NDIR CO₂ readings, and VISION-2000 flow pulses. Each
+//! sensor instance draws a fixed calibration bias at construction and adds
+//! per-reading noise, then quantizes to the part's resolution.
+
+use bz_psychro::{Celsius, Percent, Ppm};
+use bz_simcore::Rng;
+
+/// Quantizes `value` to steps of `step`.
+fn quantize(value: f64, step: f64) -> f64 {
+    (value / step).round() * step
+}
+
+/// An ADT7410 digital temperature sensor (embedded in water pipes and on
+/// ceiling panels), operated in its 16-bit mode.
+#[derive(Debug, Clone)]
+pub struct TemperatureSensor {
+    bias: f64,
+    noise_sd: f64,
+    rng: Rng,
+}
+
+impl TemperatureSensor {
+    /// Part resolution in 16-bit mode, °C.
+    pub const RESOLUTION: f64 = 0.007_812_5;
+    /// Datasheet accuracy bound, °C.
+    pub const ACCURACY: f64 = 0.5;
+
+    /// Creates a sensor, drawing its calibration bias from `rng`.
+    #[must_use]
+    pub fn new(rng: &mut Rng) -> Self {
+        let mut own = rng.fork();
+        let bias = own.normal(0.0, 0.15).clamp(-Self::ACCURACY, Self::ACCURACY);
+        Self {
+            bias,
+            // Electronic noise is ~±1 LSB; the large datasheet accuracy
+            // bound is a calibration *bias*, not per-reading scatter.
+            noise_sd: 0.008,
+            rng: own,
+        }
+    }
+
+    /// Takes a reading of the true temperature.
+    pub fn read(&mut self, truth: Celsius) -> Celsius {
+        let raw = truth.get() + self.bias + self.rng.normal(0.0, self.noise_sd);
+        Celsius::new(quantize(raw, Self::RESOLUTION))
+    }
+
+    /// The fixed calibration bias of this instance, °C.
+    #[must_use]
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+}
+
+/// An SHT75 combined temperature/relative-humidity sensor (airbox outlets
+/// and room air).
+#[derive(Debug, Clone)]
+pub struct HumiditySensor {
+    rh_bias: f64,
+    temp_bias: f64,
+    rng: Rng,
+}
+
+impl HumiditySensor {
+    /// RH resolution, %.
+    pub const RH_RESOLUTION: f64 = 0.03;
+    /// Datasheet RH accuracy bound, %.
+    pub const RH_ACCURACY: f64 = 1.8;
+    /// Temperature resolution, °C.
+    pub const TEMP_RESOLUTION: f64 = 0.01;
+
+    /// Creates a sensor, drawing calibration biases from `rng`.
+    #[must_use]
+    pub fn new(rng: &mut Rng) -> Self {
+        let mut own = rng.fork();
+        let rh_bias = own
+            .normal(0.0, 0.6)
+            .clamp(-Self::RH_ACCURACY, Self::RH_ACCURACY);
+        let temp_bias = own.normal(0.0, 0.1).clamp(-0.3, 0.3);
+        Self {
+            rh_bias,
+            temp_bias,
+            rng: own,
+        }
+    }
+
+    /// Takes a relative-humidity reading, clamped to the physical range.
+    pub fn read_rh(&mut self, truth: Percent) -> Percent {
+        let raw = truth.get() + self.rh_bias + self.rng.normal(0.0, 0.25);
+        Percent::new(quantize(raw, Self::RH_RESOLUTION).clamp(0.0, 100.0))
+    }
+
+    /// Takes a temperature reading.
+    pub fn read_temp(&mut self, truth: Celsius) -> Celsius {
+        let raw = truth.get() + self.temp_bias + self.rng.normal(0.0, 0.008);
+        Celsius::new(quantize(raw, Self::TEMP_RESOLUTION))
+    }
+}
+
+/// An NDIR CO₂ concentration sensor (integrated with the CO₂flaps).
+#[derive(Debug, Clone)]
+pub struct Co2Sensor {
+    bias: f64,
+    rng: Rng,
+}
+
+impl Co2Sensor {
+    /// Reading resolution, ppm.
+    pub const RESOLUTION: f64 = 1.0;
+
+    /// Creates a sensor, drawing its calibration bias from `rng`.
+    #[must_use]
+    pub fn new(rng: &mut Rng) -> Self {
+        let mut own = rng.fork();
+        let bias = own.normal(0.0, 12.0).clamp(-30.0, 30.0);
+        Self { bias, rng: own }
+    }
+
+    /// Takes a CO₂ reading (floored at zero).
+    pub fn read(&mut self, truth: Ppm) -> Ppm {
+        let raw = truth.get() + self.bias + self.rng.normal(0.0, 4.0);
+        Ppm::new(quantize(raw, Self::RESOLUTION).max(0.0))
+    }
+}
+
+/// A VISION-2000 turbine flow sensor: "outputs a series of pulses and the
+/// pulse frequency is proportional to its measured flow rate" (§III-B).
+/// Reading a flow means counting pulses over a gate time, which quantizes
+/// the measurement to whole pulses.
+#[derive(Debug, Clone)]
+pub struct FlowSensor {
+    /// Pulses per liter of the turbine.
+    pulses_per_liter: f64,
+    /// Pulse-counting gate time, s.
+    gate_s: f64,
+    /// Multiplicative calibration error (≈1.0).
+    gain: f64,
+    rng: Rng,
+}
+
+impl FlowSensor {
+    /// Creates a sensor with the VISION-2000's nominal 2.2 pulses/L and a
+    /// one-second gate, drawing its gain error from `rng`.
+    #[must_use]
+    pub fn new(rng: &mut Rng) -> Self {
+        let mut own = rng.fork();
+        let gain = 1.0 + own.normal(0.0, 0.01).clamp(-0.03, 0.03);
+        Self {
+            pulses_per_liter: 2.2,
+            gate_s: 1.0,
+            gain,
+            rng: own,
+        }
+    }
+
+    /// Number of pulses counted over one gate for the true flow
+    /// `truth_m3s` (m³/s).
+    pub fn count_pulses(&mut self, truth_m3s: f64) -> u64 {
+        debug_assert!(truth_m3s >= 0.0);
+        let liters = truth_m3s * 1_000.0 * self.gate_s * self.gain;
+        let expected = liters * self.pulses_per_liter;
+        // Partial pulses show up probabilistically at the gate edges.
+        let whole = expected.floor();
+        let frac = expected - whole;
+        whole as u64 + u64::from(self.rng.chance(frac))
+    }
+
+    /// Takes a flow reading in m³/s by counting pulses over the gate.
+    pub fn read(&mut self, truth_m3s: f64) -> f64 {
+        let pulses = self.count_pulses(truth_m3s);
+        pulses as f64 / self.pulses_per_liter / self.gate_s / 1_000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn temperature_reading_is_close_and_quantized() {
+        let mut rng = Rng::seed_from(1);
+        let mut sensor = TemperatureSensor::new(&mut rng);
+        let reading = sensor.read(Celsius::new(25.0));
+        assert!((reading.get() - 25.0).abs() <= TemperatureSensor::ACCURACY + 0.2);
+        let steps = reading.get() / TemperatureSensor::RESOLUTION;
+        assert!(
+            (steps - steps.round()).abs() < 1e-9,
+            "not quantized: {reading}"
+        );
+    }
+
+    #[test]
+    fn temperature_bias_is_stable_per_instance() {
+        let mut rng = Rng::seed_from(2);
+        let mut sensor = TemperatureSensor::new(&mut rng);
+        let readings: Vec<f64> = (0..200)
+            .map(|_| sensor.read(Celsius::new(20.0)).get())
+            .collect();
+        let mean = readings.iter().sum::<f64>() / readings.len() as f64;
+        // Mean of many readings converges to truth + bias.
+        assert!((mean - 20.0 - sensor.bias()).abs() < 0.03, "mean {mean}");
+    }
+
+    #[test]
+    fn different_sensors_have_different_biases() {
+        let mut rng = Rng::seed_from(3);
+        let a = TemperatureSensor::new(&mut rng);
+        let b = TemperatureSensor::new(&mut rng);
+        assert_ne!(a.bias(), b.bias());
+    }
+
+    #[test]
+    fn humidity_reading_clamps_to_physical_range() {
+        let mut rng = Rng::seed_from(4);
+        let mut sensor = HumiditySensor::new(&mut rng);
+        for _ in 0..100 {
+            let high = sensor.read_rh(Percent::new(99.9));
+            assert!(high.get() <= 100.0);
+            let low = sensor.read_rh(Percent::new(0.05));
+            assert!(low.get() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn humidity_temp_channel_is_tight() {
+        let mut rng = Rng::seed_from(5);
+        let mut sensor = HumiditySensor::new(&mut rng);
+        let reading = sensor.read_temp(Celsius::new(22.0));
+        assert!((reading.get() - 22.0).abs() < 0.4);
+    }
+
+    #[test]
+    fn co2_reading_is_plausible_and_non_negative() {
+        let mut rng = Rng::seed_from(6);
+        let mut sensor = Co2Sensor::new(&mut rng);
+        let reading = sensor.read(Ppm::new(500.0));
+        assert!((reading.get() - 500.0).abs() < 45.0);
+        let zero = sensor.read(Ppm::new(0.0));
+        assert!(zero.get() >= 0.0);
+    }
+
+    #[test]
+    fn flow_pulses_scale_with_flow() {
+        let mut rng = Rng::seed_from(7);
+        let mut sensor = FlowSensor::new(&mut rng);
+        // 1e-4 m³/s = 0.1 L/s → ~0.22 pulses/s; average over many gates.
+        let n = 5_000;
+        let total: u64 = (0..n).map(|_| sensor.count_pulses(1.0e-4)).sum();
+        let avg = total as f64 / f64::from(n);
+        assert!((avg - 0.22).abs() < 0.02, "avg pulses {avg}");
+    }
+
+    #[test]
+    fn flow_reading_averages_to_truth() {
+        let mut rng = Rng::seed_from(8);
+        let mut sensor = FlowSensor::new(&mut rng);
+        let n = 5_000;
+        let mean: f64 = (0..n).map(|_| sensor.read(1.0e-4)).sum::<f64>() / f64::from(n);
+        assert!((mean - 1.0e-4).abs() < 0.05e-4, "mean {mean}");
+    }
+
+    #[test]
+    fn zero_flow_reads_zero() {
+        let mut rng = Rng::seed_from(9);
+        let mut sensor = FlowSensor::new(&mut rng);
+        for _ in 0..50 {
+            assert_eq!(sensor.read(0.0), 0.0);
+        }
+    }
+
+    #[test]
+    fn sensors_are_seed_deterministic() {
+        let mut r1 = Rng::seed_from(10);
+        let mut r2 = Rng::seed_from(10);
+        let mut a = TemperatureSensor::new(&mut r1);
+        let mut b = TemperatureSensor::new(&mut r2);
+        for i in 0..50 {
+            let truth = Celsius::new(20.0 + f64::from(i) * 0.1);
+            assert_eq!(a.read(truth), b.read(truth));
+        }
+    }
+}

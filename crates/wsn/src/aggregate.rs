@@ -1,0 +1,264 @@
+//! Sample aggregation — the paper's third future-work item.
+//!
+//! §VII: future work includes "optimized aggregation of sensing and
+//! control information, so as to support building level deployment".
+//! An 802.15.4 frame carries up to ~102 application bytes, while one
+//! sensor sample needs ~10: a mote (or a wing relay) that batches several
+//! pending samples into one frame amortizes the fixed PHY/MAC overhead
+//! and — more importantly for battery devices — the ~2 mJ radio wake-up
+//! cost per transmission.
+//!
+//! The aggregator keeps per-type pending queues with a deadline: samples
+//! are flushed when the frame fills or when the oldest pending sample
+//! would exceed its latency budget, so control timeliness (the paper's
+//! recurring constraint) bounds the batching.
+
+use bz_simcore::{SimDuration, SimTime};
+
+use crate::message::Message;
+
+/// Maximum application payload of one 802.15.4 frame, bytes.
+pub const MAX_FRAME_PAYLOAD: usize = 102;
+
+/// An aggregated frame ready for transmission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregateFrame {
+    /// The batched samples, oldest first.
+    pub samples: Vec<Message>,
+    /// Total application payload, bytes (samples + 2-byte batch header).
+    pub payload_bytes: usize,
+    /// When the frame was flushed.
+    pub flushed_at: SimTime,
+}
+
+impl AggregateFrame {
+    /// Age of the oldest sample at flush time.
+    #[must_use]
+    pub fn worst_staleness(&self) -> SimDuration {
+        self.samples
+            .first()
+            .map(|m| self.flushed_at.since(m.created_at()))
+            .unwrap_or(SimDuration::ZERO)
+    }
+}
+
+/// Batching statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AggregateStats {
+    /// Samples offered to the aggregator.
+    pub samples_in: u64,
+    /// Frames flushed.
+    pub frames_out: u64,
+    /// Frames that would have been sent without aggregation (one per
+    /// sample).
+    pub frames_saved: u64,
+}
+
+impl AggregateStats {
+    /// Mean samples per transmitted frame.
+    #[must_use]
+    pub fn batching_factor(&self) -> f64 {
+        if self.frames_out == 0 {
+            0.0
+        } else {
+            self.samples_in as f64 / self.frames_out as f64
+        }
+    }
+}
+
+/// A latency-bounded frame aggregator.
+///
+/// # Example
+///
+/// ```
+/// use bz_simcore::{SimDuration, SimTime};
+/// use bz_wsn::aggregate::Aggregator;
+/// use bz_wsn::message::{DataType, Message, NodeId};
+///
+/// let mut agg = Aggregator::new(SimDuration::from_secs(2));
+/// let t0 = SimTime::ZERO;
+/// assert!(agg.offer(Message::new(NodeId::new(1), DataType::Temperature, 25.0, t0)).is_none());
+/// // Two seconds later the latency budget forces a flush.
+/// let frame = agg.poll(SimTime::from_secs(2)).expect("deadline reached");
+/// assert_eq!(frame.samples.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Aggregator {
+    latency_budget: SimDuration,
+    pending: Vec<Message>,
+    pending_bytes: usize,
+    stats: AggregateStats,
+}
+
+/// Per-frame batch header, bytes (count + type map).
+const BATCH_HEADER_BYTES: usize = 2;
+
+impl Aggregator {
+    /// Creates an aggregator that never holds a sample longer than
+    /// `latency_budget`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the budget is zero.
+    #[must_use]
+    pub fn new(latency_budget: SimDuration) -> Self {
+        assert!(!latency_budget.is_zero(), "latency budget must be positive");
+        Self {
+            latency_budget,
+            pending: Vec::new(),
+            pending_bytes: BATCH_HEADER_BYTES,
+            stats: AggregateStats::default(),
+        }
+    }
+
+    /// Number of samples currently pending.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> AggregateStats {
+        self.stats
+    }
+
+    /// Offers a sample. Returns a full frame if this sample filled it.
+    pub fn offer(&mut self, sample: Message) -> Option<AggregateFrame> {
+        self.stats.samples_in += 1;
+        let sample_bytes = sample.payload_bytes();
+        let flushed = if self.pending_bytes + sample_bytes > MAX_FRAME_PAYLOAD {
+            // The new sample wouldn't fit: flush what's pending first.
+            Some(self.flush(sample.created_at()))
+        } else {
+            None
+        };
+        self.pending.push(sample);
+        self.pending_bytes += sample_bytes;
+        flushed.flatten()
+    }
+
+    /// Flushes if the oldest pending sample has reached its latency
+    /// budget at `now`.
+    pub fn poll(&mut self, now: SimTime) -> Option<AggregateFrame> {
+        let oldest = self.pending.first()?;
+        if now.since(oldest.created_at()) >= self.latency_budget {
+            self.flush(now)
+        } else {
+            None
+        }
+    }
+
+    /// Unconditionally flushes whatever is pending.
+    pub fn flush(&mut self, now: SimTime) -> Option<AggregateFrame> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        let samples = std::mem::take(&mut self.pending);
+        let payload_bytes = self.pending_bytes;
+        self.pending_bytes = BATCH_HEADER_BYTES;
+        self.stats.frames_out += 1;
+        self.stats.frames_saved += samples.len() as u64 - 1;
+        Some(AggregateFrame {
+            samples,
+            payload_bytes,
+            flushed_at: now,
+        })
+    }
+}
+
+/// Airtime saved by aggregation, as a fraction, for a stream of
+/// `sample_payload`-byte samples batched `k` per frame with
+/// `overhead_bytes` of PHY/MAC framing per transmission.
+#[must_use]
+pub fn airtime_savings(sample_payload: usize, overhead_bytes: usize, k: usize) -> f64 {
+    assert!(k >= 1);
+    let individual = k * (sample_payload + overhead_bytes);
+    let batched = BATCH_HEADER_BYTES + k * sample_payload + overhead_bytes;
+    1.0 - batched as f64 / individual as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{DataType, NodeId};
+
+    fn sample(at_s: u64, channel: u16) -> Message {
+        Message::on_channel(
+            NodeId::new(7),
+            DataType::Temperature,
+            channel,
+            25.0,
+            SimTime::from_secs(at_s),
+        )
+    }
+
+    #[test]
+    fn flushes_on_latency_budget() {
+        let mut agg = Aggregator::new(SimDuration::from_secs(3));
+        assert!(agg.offer(sample(0, 0)).is_none());
+        assert!(agg.offer(sample(1, 1)).is_none());
+        assert!(agg.poll(SimTime::from_secs(2)).is_none());
+        let frame = agg.poll(SimTime::from_secs(3)).expect("deadline");
+        assert_eq!(frame.samples.len(), 2);
+        assert_eq!(frame.worst_staleness(), SimDuration::from_secs(3));
+        assert_eq!(agg.pending(), 0);
+    }
+
+    #[test]
+    fn flushes_when_the_frame_fills() {
+        let mut agg = Aggregator::new(SimDuration::from_hours(1));
+        // Temperature samples are 10 bytes; 10 fit (2 + 100 ≤ 102), the
+        // 11th forces a flush of the first ten.
+        let mut flushed = None;
+        for i in 0..11u64 {
+            if let Some(frame) = agg.offer(sample(i, i as u16)) {
+                flushed = Some((i, frame));
+            }
+        }
+        let (at, frame) = flushed.expect("the 11th sample overflows");
+        assert_eq!(at, 10);
+        assert_eq!(frame.samples.len(), 10);
+        assert!(frame.payload_bytes <= MAX_FRAME_PAYLOAD);
+        assert_eq!(agg.pending(), 1, "the overflowing sample stays pending");
+    }
+
+    #[test]
+    fn stats_count_savings() {
+        let mut agg = Aggregator::new(SimDuration::from_secs(10));
+        for i in 0..6u64 {
+            let _ = agg.offer(sample(i, i as u16));
+        }
+        let _ = agg.flush(SimTime::from_secs(6));
+        let stats = agg.stats();
+        assert_eq!(stats.samples_in, 6);
+        assert_eq!(stats.frames_out, 1);
+        assert_eq!(stats.frames_saved, 5);
+        assert!((stats.batching_factor() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_flush_is_none() {
+        let mut agg = Aggregator::new(SimDuration::from_secs(1));
+        assert!(agg.flush(SimTime::ZERO).is_none());
+        assert!(agg.poll(SimTime::from_secs(100)).is_none());
+    }
+
+    #[test]
+    fn airtime_savings_grow_with_batch_size() {
+        // 10-byte samples, 23-byte overhead (the TelosB numbers).
+        let k1 = airtime_savings(10, 23, 1);
+        let k4 = airtime_savings(10, 23, 4);
+        let k10 = airtime_savings(10, 23, 10);
+        assert!(k1 <= 0.0 + 1e-12, "no batching, tiny header cost: {k1}");
+        assert!(k4 > 0.4, "got {k4}");
+        assert!(k10 > k4);
+        assert!(k10 > 0.55, "got {k10}");
+    }
+
+    #[test]
+    #[should_panic(expected = "latency budget")]
+    fn zero_budget_is_rejected() {
+        let _ = Aggregator::new(SimDuration::ZERO);
+    }
+}

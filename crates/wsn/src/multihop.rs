@@ -1,0 +1,371 @@
+//! Multi-hop, type-based multicast — the paper's stated future work.
+//!
+//! §IV-A: "When multi-hop communication must be concerned in large-scale
+//! environments, we can potentially extend our design by forming 'type'
+//! based multicast groups and routing messages with existing ad-hoc
+//! multicast approaches. We leave it as an important future work of this
+//! paper." — and §VII again names multihop networking as the path to
+//! "building level deployment".
+//!
+//! This module implements that extension: a geometric radio topology, a
+//! per-source shortest-path (BFS) tree, and multicast forwarding pruned to
+//! the branches that lead to subscribers of the message's type. The
+//! figure of merit is the number of transmissions per disseminated sample
+//! compared against network-wide flooding — the savings that make
+//! building-scale deployments of the typed-broadcast architecture viable.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use crate::message::{DataType, NodeId};
+
+/// A node with a fixed position, m.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Placement {
+    /// The node.
+    pub node: NodeId,
+    /// X coordinate, m.
+    pub x: f64,
+    /// Y coordinate, m.
+    pub y: f64,
+}
+
+/// Outcome of routing one sample to a type's subscribers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MulticastOutcome {
+    /// Subscribers actually reached.
+    pub reached: Vec<NodeId>,
+    /// Subscribers with no path from the source.
+    pub unreachable: Vec<NodeId>,
+    /// Number of radio transmissions performed (source + forwarders).
+    pub transmissions: usize,
+    /// Longest hop count to any reached subscriber.
+    pub max_hops: usize,
+}
+
+/// A multi-hop deployment: placed nodes, a radio range, and per-node
+/// type subscriptions.
+///
+/// # Example
+///
+/// ```
+/// use bz_wsn::message::{DataType, NodeId};
+/// use bz_wsn::multihop::MultihopNetwork;
+///
+/// let mut net = MultihopNetwork::new(50.0);
+/// net.place(NodeId::new(1), 0.0, 0.0);
+/// net.place(NodeId::new(2), 40.0, 0.0);
+/// net.place(NodeId::new(3), 80.0, 0.0);
+/// net.subscribe(NodeId::new(3), DataType::Temperature);
+/// let out = net.multicast(NodeId::new(1), DataType::Temperature).unwrap();
+/// assert_eq!(out.reached, vec![NodeId::new(3)]);
+/// assert_eq!(out.max_hops, 2); // relayed through node 2
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MultihopNetwork {
+    placements: Vec<Placement>,
+    range_m: f64,
+    subscriptions: HashMap<NodeId, HashSet<DataType>>,
+}
+
+impl MultihopNetwork {
+    /// Creates an empty deployment with the given radio range (the paper's
+    /// TelosB motes reach ~50 m indoors).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range_m` is not positive.
+    #[must_use]
+    pub fn new(range_m: f64) -> Self {
+        assert!(range_m > 0.0, "radio range must be positive");
+        Self {
+            placements: Vec::new(),
+            range_m,
+            subscriptions: HashMap::new(),
+        }
+    }
+
+    /// Places (or moves) a node.
+    pub fn place(&mut self, node: NodeId, x: f64, y: f64) {
+        if let Some(existing) = self.placements.iter_mut().find(|p| p.node == node) {
+            existing.x = x;
+            existing.y = y;
+        } else {
+            self.placements.push(Placement { node, x, y });
+        }
+    }
+
+    /// Subscribes `node` to messages of `data_type`.
+    pub fn subscribe(&mut self, node: NodeId, data_type: DataType) {
+        self.subscriptions
+            .entry(node)
+            .or_default()
+            .insert(data_type);
+    }
+
+    /// Number of placed nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.placements.len()
+    }
+
+    /// True when no nodes are placed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.placements.is_empty()
+    }
+
+    /// Nodes within radio range of `node` (excluding itself).
+    #[must_use]
+    pub fn neighbors(&self, node: NodeId) -> Vec<NodeId> {
+        let Some(origin) = self.placements.iter().find(|p| p.node == node) else {
+            return Vec::new();
+        };
+        self.placements
+            .iter()
+            .filter(|p| p.node != node)
+            .filter(|p| {
+                let dx = p.x - origin.x;
+                let dy = p.y - origin.y;
+                (dx * dx + dy * dy).sqrt() <= self.range_m
+            })
+            .map(|p| p.node)
+            .collect()
+    }
+
+    /// BFS hop distances and parents from `source`.
+    fn bfs(&self, source: NodeId) -> HashMap<NodeId, (usize, Option<NodeId>)> {
+        let mut visited: HashMap<NodeId, (usize, Option<NodeId>)> = HashMap::new();
+        let mut queue = VecDeque::new();
+        visited.insert(source, (0, None));
+        queue.push_back(source);
+        while let Some(current) = queue.pop_front() {
+            let (hops, _) = visited[&current];
+            for neighbor in self.neighbors(current) {
+                visited.entry(neighbor).or_insert_with(|| {
+                    queue.push_back(neighbor);
+                    (hops + 1, Some(current))
+                });
+            }
+        }
+        visited
+    }
+
+    /// True if every placed node can reach every other.
+    #[must_use]
+    pub fn is_connected(&self) -> bool {
+        match self.placements.first() {
+            None => true,
+            Some(first) => self.bfs(first.node).len() == self.placements.len(),
+        }
+    }
+
+    /// Routes one `data_type` sample from `source` to all subscribers over
+    /// the pruned shortest-path tree. Returns `None` if `source` is not
+    /// placed.
+    #[must_use]
+    pub fn multicast(&self, source: NodeId, data_type: DataType) -> Option<MulticastOutcome> {
+        if !self.placements.iter().any(|p| p.node == source) {
+            return None;
+        }
+        let tree = self.bfs(source);
+        let subscribers: Vec<NodeId> = self
+            .subscriptions
+            .iter()
+            .filter(|(node, types)| **node != source && types.contains(&data_type))
+            .map(|(node, _)| *node)
+            .collect();
+
+        let mut reached = Vec::new();
+        let mut unreachable = Vec::new();
+        // The set of nodes that must transmit: the source plus every
+        // interior node on a path to some reachable subscriber.
+        let mut transmitters: HashSet<NodeId> = HashSet::new();
+        let mut max_hops = 0;
+        for &subscriber in &subscribers {
+            match tree.get(&subscriber) {
+                None => unreachable.push(subscriber),
+                Some(&(hops, _)) => {
+                    reached.push(subscriber);
+                    max_hops = max_hops.max(hops);
+                    // Walk the parent chain: every node except the
+                    // subscriber itself forwards once.
+                    let mut cursor = subscriber;
+                    while let Some(&(_, Some(parent))) = tree.get(&cursor) {
+                        transmitters.insert(parent);
+                        cursor = parent;
+                    }
+                }
+            }
+        }
+        reached.sort_by_key(|n| n.get());
+        unreachable.sort_by_key(|n| n.get());
+        let transmissions = if reached.is_empty() {
+            0
+        } else {
+            transmitters.len()
+        };
+        Some(MulticastOutcome {
+            reached,
+            unreachable,
+            transmissions,
+            max_hops,
+        })
+    }
+
+    /// The flooding baseline: every node that hears the sample rebroadcasts
+    /// it once (classic network-wide flood with duplicate suppression).
+    /// Returns the number of transmissions and the network radius from
+    /// `source`, or `None` if `source` is not placed.
+    #[must_use]
+    pub fn flood(&self, source: NodeId) -> Option<(usize, usize)> {
+        if !self.placements.iter().any(|p| p.node == source) {
+            return None;
+        }
+        let tree = self.bfs(source);
+        let radius = tree.values().map(|&(hops, _)| hops).max().unwrap_or(0);
+        // Every reached node transmits exactly once (including the source).
+        Some((tree.len(), radius))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 3×4 building-floor grid, 20 m node spacing, 25 m radio range —
+    /// only orthogonal neighbors hear each other.
+    fn grid() -> MultihopNetwork {
+        let mut net = MultihopNetwork::new(25.0);
+        for row in 0..3u16 {
+            for col in 0..4u16 {
+                net.place(
+                    NodeId::new(row * 4 + col),
+                    f64::from(col) * 20.0,
+                    f64::from(row) * 20.0,
+                );
+            }
+        }
+        net
+    }
+
+    #[test]
+    fn grid_is_connected_with_orthogonal_links() {
+        let net = grid();
+        assert_eq!(net.len(), 12);
+        assert!(net.is_connected());
+        // A corner node has exactly two neighbors.
+        assert_eq!(net.neighbors(NodeId::new(0)).len(), 2);
+        // An interior node has four.
+        assert_eq!(net.neighbors(NodeId::new(5)).len(), 4);
+    }
+
+    #[test]
+    fn multicast_reaches_subscriber_across_hops() {
+        let mut net = grid();
+        // Source at one corner (0,0), subscriber at the far corner (11).
+        net.subscribe(NodeId::new(11), DataType::Temperature);
+        let out = net
+            .multicast(NodeId::new(0), DataType::Temperature)
+            .unwrap();
+        assert_eq!(out.reached, vec![NodeId::new(11)]);
+        assert!(out.unreachable.is_empty());
+        // Manhattan distance 3+2 = 5 hops.
+        assert_eq!(out.max_hops, 5);
+        // A single path: 5 transmitters (source + 4 relays).
+        assert_eq!(out.transmissions, 5);
+    }
+
+    #[test]
+    fn pruned_tree_beats_flooding() {
+        let mut net = grid();
+        net.subscribe(NodeId::new(11), DataType::Temperature);
+        net.subscribe(NodeId::new(7), DataType::Temperature);
+        let multicast = net
+            .multicast(NodeId::new(0), DataType::Temperature)
+            .unwrap();
+        let (flood_tx, _) = net.flood(NodeId::new(0)).unwrap();
+        assert_eq!(flood_tx, 12, "flooding transmits at every node");
+        assert!(
+            multicast.transmissions < flood_tx / 2,
+            "pruning should save more than half: {} vs {flood_tx}",
+            multicast.transmissions
+        );
+    }
+
+    #[test]
+    fn non_subscribed_types_cost_nothing() {
+        let mut net = grid();
+        net.subscribe(NodeId::new(11), DataType::Co2);
+        let out = net
+            .multicast(NodeId::new(0), DataType::Temperature)
+            .unwrap();
+        assert!(out.reached.is_empty());
+        assert_eq!(out.transmissions, 0);
+    }
+
+    #[test]
+    fn partitioned_subscriber_is_reported_unreachable() {
+        let mut net = grid();
+        // An island node far outside radio range.
+        net.place(NodeId::new(99), 500.0, 500.0);
+        net.subscribe(NodeId::new(99), DataType::Humidity);
+        net.subscribe(NodeId::new(5), DataType::Humidity);
+        assert!(!net.is_connected());
+        let out = net.multicast(NodeId::new(0), DataType::Humidity).unwrap();
+        assert_eq!(out.reached, vec![NodeId::new(5)]);
+        assert_eq!(out.unreachable, vec![NodeId::new(99)]);
+    }
+
+    #[test]
+    fn single_hop_degenerates_to_one_broadcast() {
+        // Everyone in range of everyone: the paper's original deployment.
+        let mut net = MultihopNetwork::new(100.0);
+        for i in 0..5u16 {
+            net.place(NodeId::new(i), f64::from(i) * 10.0, 0.0);
+        }
+        for i in 1..5u16 {
+            net.subscribe(NodeId::new(i), DataType::FlowRate);
+        }
+        let out = net.multicast(NodeId::new(0), DataType::FlowRate).unwrap();
+        assert_eq!(out.reached.len(), 4);
+        assert_eq!(out.max_hops, 1);
+        assert_eq!(
+            out.transmissions, 1,
+            "a single broadcast serves all subscribers, as in the lab"
+        );
+    }
+
+    #[test]
+    fn source_is_not_its_own_subscriber() {
+        let mut net = grid();
+        net.subscribe(NodeId::new(0), DataType::Temperature);
+        let out = net
+            .multicast(NodeId::new(0), DataType::Temperature)
+            .unwrap();
+        assert!(out.reached.is_empty());
+    }
+
+    #[test]
+    fn unknown_source_is_none() {
+        let net = grid();
+        assert!(net.multicast(NodeId::new(77), DataType::Co2).is_none());
+        assert!(net.flood(NodeId::new(77)).is_none());
+    }
+
+    #[test]
+    fn placing_twice_moves_the_node() {
+        let mut net = MultihopNetwork::new(25.0);
+        net.place(NodeId::new(1), 0.0, 0.0);
+        net.place(NodeId::new(2), 20.0, 0.0);
+        assert_eq!(net.neighbors(NodeId::new(1)).len(), 1);
+        net.place(NodeId::new(2), 500.0, 0.0);
+        assert_eq!(net.len(), 2);
+        assert!(net.neighbors(NodeId::new(1)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "range must be positive")]
+    fn zero_range_is_rejected() {
+        let _ = MultihopNetwork::new(0.0);
+    }
+}

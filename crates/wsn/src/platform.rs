@@ -1,0 +1,97 @@
+//! MSP430-class resource cost model for the histogram clustering.
+//!
+//! Fig. 12(b)/(c) of the paper report the RAM footprint and CPU time of
+//! Algorithm 1 as functions of the histogram size `N` on the TelosB's
+//! MSP430 (10 KB RAM, ~8 MHz, no hardware floating point): ~130 bytes and
+//! ~1600 ms at `N = 60`. This module models those costs so the Fig. 12
+//! harness can regenerate the curves.
+
+/// TelosB MSP430F1611 clock frequency, Hz.
+pub const MSP430_CLOCK_HZ: f64 = 8_000_000.0;
+
+/// Total RAM of the MSP430F1611, bytes (the paper's "out of 10K bytes").
+pub const MSP430_RAM_BYTES: usize = 10_240;
+
+/// RAM occupied by the histogram state for size `n`: one 16-bit counter
+/// per slot plus `var_min`/`var_max` (two 4-byte floats) and bookkeeping.
+#[must_use]
+pub fn histogram_ram_bytes(n: usize) -> usize {
+    2 * n + 10
+}
+
+/// Emulated-software-float CPU cycles for one full Algorithm 1 pass at
+/// histogram size `n`.
+///
+/// The algorithm enumerates `N − 1` splits; each split recomputes two
+/// cluster centers and two weighted intra-cluster sums over all `N` slots,
+/// i.e. Θ(N²) float operations. On an MSP430 a software-emulated float
+/// add/multiply costs several hundred cycles; the constants below are
+/// calibrated to the paper's ~1600 ms at `N = 60`.
+#[must_use]
+pub fn clustering_cycles(n: usize) -> u64 {
+    let n = n as u64;
+    const SETUP: u64 = 20_000;
+    const PER_SPLIT: u64 = 9_000; // loop control + final comparison
+    const PER_CELL: u64 = 3_300; // soft-float ops per (split, slot) pair
+    SETUP + (n - 1) * PER_SPLIT + n * n * PER_CELL
+}
+
+/// Wall-clock CPU time of one Algorithm 1 pass at histogram size `n`, ms.
+#[must_use]
+pub fn clustering_time_ms(n: usize) -> f64 {
+    clustering_cycles(n) as f64 / MSP430_CLOCK_HZ * 1_000.0
+}
+
+/// True when the histogram state fits comfortably next to the TinyOS
+/// image (which leaves roughly 4 KB of RAM free for the application).
+#[must_use]
+pub fn fits_on_mote(n: usize) -> bool {
+    histogram_ram_bytes(n) <= MSP430_RAM_BYTES / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ram_matches_paper_at_n60() {
+        // "when N = 60, it takes 130 bytes ... to store the entire
+        // histogram" — Fig. 12(b).
+        assert_eq!(histogram_ram_bytes(60), 130);
+    }
+
+    #[test]
+    fn cpu_time_matches_paper_at_n60() {
+        // "... and 1600 ms to complete clustering" — Fig. 12(c).
+        let ms = clustering_time_ms(60);
+        assert!((ms - 1_600.0).abs() < 120.0, "got {ms} ms");
+    }
+
+    #[test]
+    fn costs_grow_monotonically() {
+        let mut last_ram = 0;
+        let mut last_ms = 0.0;
+        for n in (5..=70).step_by(5) {
+            let ram = histogram_ram_bytes(n);
+            let ms = clustering_time_ms(n);
+            assert!(ram > last_ram);
+            assert!(ms > last_ms);
+            last_ram = ram;
+            last_ms = ms;
+        }
+    }
+
+    #[test]
+    fn cpu_cost_is_quadratic() {
+        // Doubling N should roughly quadruple the dominant term.
+        let r = clustering_cycles(80) as f64 / clustering_cycles(40) as f64;
+        assert!(r > 3.2 && r < 4.2, "ratio {r}");
+    }
+
+    #[test]
+    fn everything_fits_on_the_mote_at_paper_sizes() {
+        for n in [5, 20, 40, 60, 70] {
+            assert!(fits_on_mote(n), "N = {n} should fit");
+        }
+    }
+}

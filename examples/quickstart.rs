@@ -1,0 +1,56 @@
+//! Quickstart: boot the BubbleZERO system on a tropical afternoon and
+//! watch it pull the laboratory from outdoor conditions to the comfort
+//! targets.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use bubblezero::core::system::{BubbleZeroSystem, SystemConfig};
+use bubblezero::thermal::plant::PlantConfig;
+use bubblezero::thermal::zone::SubspaceId;
+
+fn main() {
+    // The calibrated laboratory (60 m³, two radiant panels, four airboxes)
+    // with the paper's comfort targets: 25 °C and an 18 °C dew point.
+    let config = SystemConfig::paper_deployment(PlantConfig::bubble_zero_lab());
+    let mut system = BubbleZeroSystem::new(config);
+
+    println!("BubbleZERO quickstart — pulling down from outdoor conditions");
+    println!(
+        "{:>6} {:>8} {:>8} {:>10} {:>10}",
+        "min", "T (°C)", "dew (°C)", "radiant W", "vent W"
+    );
+    for minute in 1..=40 {
+        system.run_seconds(60);
+        if minute % 4 == 0 {
+            let plant = system.plant();
+            let telemetry = plant.telemetry();
+            println!(
+                "{:>6} {:>8.2} {:>8.2} {:>10.0} {:>10.0}",
+                minute,
+                plant.zone_temperature(SubspaceId::S1).get(),
+                plant.zone_dew_point(SubspaceId::S1).get(),
+                telemetry.radiant_heat_removed_w,
+                telemetry.vent_heat_removed_w,
+            );
+        }
+    }
+
+    let plant = system.plant();
+    println!();
+    println!(
+        "after 40 minutes: {} / dew {} (targets 25 °C / 18 °C)",
+        plant.zone_temperature(SubspaceId::S1),
+        plant.zone_dew_point(SubspaceId::S1),
+    );
+    println!(
+        "panel condensate: {:.6} kg (the anti-condensation control held)",
+        plant.panel_condensate_total()
+    );
+    println!(
+        "wireless: {} packets delivered ({:.1}% delivery ratio)",
+        system.network().stats().delivered,
+        100.0 * system.network().stats().delivery_ratio()
+    );
+}

@@ -1,0 +1,72 @@
+# Gnuplot recipes for the CSVs the fig harnesses write to target/figures/.
+#
+#   for f in fig10 fig11 fig12 fig13 fig14 fig15; do
+#     cargo run --release -p bz-bench --bin $f
+#   done
+#   gnuplot scripts/plot_figures.gp
+#
+# Output: target/figures/*.png
+
+set datafile separator ','
+set terminal pngcairo size 900,540 font ',10'
+set grid
+
+# --- Fig. 10: temperature and dew point per subspace -------------------
+set output 'target/figures/fig10_temperature.png'
+set title 'Fig. 10(a) — subspace temperatures (trial starts 13:00)'
+set xlabel 'time (s)'; set ylabel 'temperature (°C)'
+plot for [i=2:9:2] 'target/figures/fig10.csv' using 1:i with lines title columnheader(i), \
+     'target/figures/fig10.csv' using 1:10 with lines lw 2 title 'outdoor'
+
+set output 'target/figures/fig10_dew_point.png'
+set title 'Fig. 10(b) — subspace dew points'
+set xlabel 'time (s)'; set ylabel 'dew point (°C)'
+plot for [i=3:9:2] 'target/figures/fig10.csv' using 1:i with lines title columnheader(i), \
+     'target/figures/fig10.csv' using 1:11 with lines lw 2 title 'outdoor'
+
+# --- Fig. 11: COP bars ---------------------------------------------------
+set output 'target/figures/fig11_cop.png'
+set title 'Fig. 11 — COP comparison'
+set style data histogram
+set style fill solid 0.7
+set ylabel 'COP'; set yrange [0:5]
+plot 'target/figures/fig11.csv' using 2:xtic(1) title 'measured'
+
+# --- Fig. 12: accuracy / RAM / CPU vs N ---------------------------------
+set style data lines
+set autoscale y
+set output 'target/figures/fig12_accuracy.png'
+set title 'Fig. 12(a) — clustering accuracy vs histogram size N'
+set xlabel 'N'; set ylabel 'accuracy'
+plot 'target/figures/fig12.csv' using 1:2 with linespoints title 'accuracy'
+
+set output 'target/figures/fig12_cost.png'
+set title 'Fig. 12(b)(c) — RAM and CPU cost vs N'
+set xlabel 'N'; set ylabel 'RAM (bytes)'; set y2label 'CPU (ms)'
+set y2tics
+plot 'target/figures/fig12.csv' using 1:3 with linespoints title 'RAM (B)', \
+     'target/figures/fig12.csv' using 1:4 axes x1y2 with linespoints title 'CPU (ms)'
+
+# --- Fig. 13: accuracy over time -----------------------------------------
+set output 'target/figures/fig13_accuracy.png'
+set title 'Fig. 13 — accuracy as time elapses (N = 40)'
+set xlabel 'time (s)'; set ylabel 'accuracy'
+unset y2tics; unset y2label
+plot 'target/figures/fig13.csv' using 1:2 with linespoints title 'accuracy'
+
+# --- Fig. 14: send-period adaptation --------------------------------------
+set output 'target/figures/fig14_tsnd.png'
+set title 'Fig. 14 — send period and room dew point'
+set xlabel 'time (s)'; set ylabel 'T_{snd} (s)'; set y2label 'dew point (°C)'
+set y2tics
+plot 'target/figures/fig14.csv' using 1:2 with steps title 'T_{snd}', \
+     'target/figures/fig14.csv' using 1:3 axes x1y2 with lines title 'dew point'
+
+# --- Fig. 15: send-period CDF ---------------------------------------------
+set output 'target/figures/fig15_cdf.png'
+set title 'Fig. 15 — send-period CDF'
+set xlabel 'send period (s)'; set ylabel 'CDF'
+unset y2tics; unset y2label
+set yrange [0:1]
+plot '< grep BT-ADPT target/figures/fig15.csv' using 2:3 with steps lw 2 title 'BT-ADPT', \
+     1 with lines dt 2 title 'Fixed (all at 2 s)'

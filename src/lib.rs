@@ -1,0 +1,46 @@
+//! # BubbleZERO — energy-efficient HVAC with distributed sensing and control
+//!
+//! A complete Rust reproduction of *"Energy Efficient HVAC System with
+//! Distributed Sensing and Control"* (ICDCS 2014): the low-exergy
+//! BubbleZERO laboratory, its decomposed radiant-cooling and distributed
+//! ventilation controllers, and the 802.15.4 wireless sensor network with
+//! adaptive duty-cycled transmission — all running against a calibrated
+//! building-physics simulation instead of the original hardware.
+//!
+//! This crate is a facade that re-exports the workspace members:
+//!
+//! - [`psychro`] — psychrometrics (Magnus dew point, moist-air relations),
+//!   unit newtypes, exergy/Carnot math;
+//! - [`simcore`] — the deterministic simulation kernel (clock, events,
+//!   seedable RNG, traces, streaming statistics);
+//! - [`thermal`] — the laboratory: zones, radiant panels, hydronic mixing
+//!   loops, airboxes, chillers, weather, disturbances, sensors;
+//! - [`wsn`] — the network: typed broadcast over CSMA/CA, BT-ADPT adaptive
+//!   transmission, histogram-based λ clustering, energy accounting;
+//! - [`core`] — the paper's contribution: the two control modules, the
+//!   closed-loop system, the AirCon baseline, COP metrics, and the
+//!   experiment scenarios behind every figure.
+//!
+//! # Quickstart
+//!
+//! Run the paper's afternoon trial and check the headline claims:
+//!
+//! ```no_run
+//! use bubblezero::core::scenario::AfternoonTrial;
+//!
+//! let outcome = AfternoonTrial::paper_setup().run();
+//! println!("overall COP: {:.2}", outcome.cop.cop_overall());
+//! assert!(outcome.panel_condensate_kg < 1e-6, "no condensation allowed");
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `crates/bench/src/bin/` for
+//! the per-figure reproduction harnesses (`fig10` … `fig15`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use bz_core as core;
+pub use bz_psychro as psychro;
+pub use bz_simcore as simcore;
+pub use bz_thermal as thermal;
+pub use bz_wsn as wsn;

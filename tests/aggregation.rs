@@ -1,0 +1,114 @@
+//! End-to-end test of the aggregation extension against the channel: a
+//! wing relay batching samples must cut airtime and transmissions while
+//! respecting the latency budget.
+
+use bubblezero::simcore::{Rng, SimDuration, SimTime};
+use bubblezero::wsn::aggregate::{airtime_savings, Aggregator};
+use bubblezero::wsn::channel::{Network, NetworkConfig};
+use bubblezero::wsn::message::{DataType, Message, NodeId};
+
+/// Generates the relay's inbound sample stream: 6 sensors reporting every
+/// 2 s for one minute.
+fn sample_stream() -> Vec<Message> {
+    let mut samples = Vec::new();
+    for tick in 0..30u64 {
+        for sensor in 0..6u16 {
+            samples.push(Message::on_channel(
+                NodeId::new(sensor),
+                DataType::Temperature,
+                sensor,
+                25.0,
+                SimTime::from_secs(tick * 2),
+            ));
+        }
+    }
+    samples
+}
+
+fn lossless() -> NetworkConfig {
+    NetworkConfig {
+        residual_loss: 0.0,
+        ..NetworkConfig::telosb()
+    }
+}
+
+#[test]
+fn relay_batching_cuts_transmissions_and_airtime() {
+    let config = lossless();
+
+    // Without aggregation: every sample is its own frame.
+    let mut direct = Network::new(config, Rng::seed_from(1));
+    for sample in sample_stream() {
+        direct.send(sample.created_at(), sample);
+    }
+    let _ = direct.advance(SimTime::from_secs(120));
+    let direct_frames = direct.stats().offered;
+
+    // With aggregation: the relay batches within a 2-second budget.
+    let mut network = Network::new(config, Rng::seed_from(1));
+    let mut aggregator = Aggregator::new(SimDuration::from_secs(2));
+    let relay = NodeId::new(99);
+    let mut relay_frames = 0u64;
+    let send_batch =
+        |network: &mut Network, frame: bubblezero::wsn::aggregate::AggregateFrame| {
+            // One physical frame carries the whole batch; model it as a
+            // single actuation-sized message on the channel.
+            let carrier = Message::on_channel(
+                relay,
+                DataType::Actuation,
+                frame.samples.len() as u16,
+                frame.payload_bytes as f64,
+                frame.flushed_at,
+            );
+            network.send(frame.flushed_at, carrier);
+        };
+    for sample in sample_stream() {
+        let now = sample.created_at();
+        if let Some(frame) = aggregator.offer(sample) {
+            relay_frames += 1;
+            send_batch(&mut network, frame);
+        }
+        if let Some(frame) = aggregator.poll(now) {
+            relay_frames += 1;
+            send_batch(&mut network, frame);
+        }
+    }
+    if let Some(frame) = aggregator.flush(SimTime::from_secs(60)) {
+        relay_frames += 1;
+        send_batch(&mut network, frame);
+    }
+    let _ = network.advance(SimTime::from_secs(120));
+
+    assert_eq!(direct_frames, 180);
+    assert!(
+        relay_frames * 4 <= direct_frames,
+        "batching should cut frames at least 4x: {relay_frames} vs {direct_frames}"
+    );
+    // Latency guarantee: every frame flushed within its budget.
+    let stats = aggregator.stats();
+    assert_eq!(stats.samples_in, 180);
+    assert!(stats.batching_factor() >= 4.0);
+
+    // Closed-form airtime check for the observed batching factor.
+    let k = stats.batching_factor().floor() as usize;
+    assert!(airtime_savings(10, 23, k) > 0.4);
+}
+
+#[test]
+fn aggregation_respects_the_latency_budget() {
+    let mut aggregator = Aggregator::new(SimDuration::from_secs(2));
+    let mut worst = SimDuration::ZERO;
+    for sample in sample_stream() {
+        let now = sample.created_at();
+        if let Some(frame) = aggregator.offer(sample) {
+            worst = worst.max(frame.worst_staleness());
+        }
+        if let Some(frame) = aggregator.poll(now) {
+            worst = worst.max(frame.worst_staleness());
+        }
+    }
+    assert!(
+        worst <= SimDuration::from_secs(2),
+        "a sample waited {worst} beyond its budget"
+    );
+}

@@ -1,0 +1,138 @@
+//! Fault-tolerance integration tests: hardware failures should degrade
+//! one subspace or one function, never the whole room — the dividend of
+//! the paper's decomposed, distributed control.
+
+use bubblezero::core::system::{BubbleZeroSystem, SystemConfig};
+use bubblezero::simcore::SimTime;
+use bubblezero::thermal::airbox::FanLevel;
+use bubblezero::thermal::faults::{ActuatorFault, FaultEvent, FaultSchedule};
+use bubblezero::thermal::plant::PlantConfig;
+use bubblezero::thermal::zone::SubspaceId;
+
+fn system_with_faults(faults: Vec<FaultEvent>) -> BubbleZeroSystem {
+    let plant = PlantConfig::bubble_zero_lab().with_faults(FaultSchedule::new(faults));
+    BubbleZeroSystem::new(SystemConfig::paper_deployment(plant))
+}
+
+#[test]
+fn dead_coil_pump_degrades_only_its_subspace() {
+    // Airbox 2's coil pump dies after convergence: subspace 3 loses its
+    // dehumidification, its dew point drifts above the others, but the
+    // rest of the room holds.
+    let mut system = system_with_faults(vec![FaultEvent {
+        at: SimTime::from_mins(40),
+        repaired_at: None,
+        fault: ActuatorFault::CoilPumpDead { airbox: 2 },
+    }]);
+    system.run_seconds(100 * 60);
+
+    let dew_faulty = system.plant().zone_dew_point(SubspaceId::S3).get();
+    let dew_healthy = system.plant().zone_dew_point(SubspaceId::S1).get();
+    assert!(
+        dew_faulty > dew_healthy + 0.5,
+        "the faulty subspace should read moister: {dew_faulty} vs {dew_healthy}"
+    );
+    // Inter-zone mixing and the three healthy airboxes bound the damage:
+    // the faulty subspace stays ~3 K above target instead of returning to
+    // outdoor humidity, and the healthy subspaces sit within ~2 K (they
+    // absorb the faulty zone's moisture through mixing).
+    assert!(dew_faulty < 22.0, "dew ran away to {dew_faulty}");
+    assert!(
+        (dew_healthy - 18.0).abs() < 2.0,
+        "healthy dew {dew_healthy}"
+    );
+    // Temperature control is a separate module and must be unaffected.
+    for id in SubspaceId::ALL {
+        let temp = system.plant().zone_temperature(id).get();
+        assert!((temp - 25.0).abs() < 1.5, "{id} at {temp}");
+    }
+}
+
+#[test]
+fn dead_supply_pump_halves_radiant_but_keeps_dew_control() {
+    // Panel 0's supply pump seizes: subspaces 1-2 lose radiant cooling.
+    let mut system = system_with_faults(vec![FaultEvent {
+        at: SimTime::from_mins(40),
+        repaired_at: None,
+        fault: ActuatorFault::SupplyPumpDead { panel: 0 },
+    }]);
+    system.run_seconds(100 * 60);
+
+    let temp_faulty = system.plant().zone_temperature(SubspaceId::S1).get();
+    let temp_healthy = system.plant().zone_temperature(SubspaceId::S3).get();
+    assert!(
+        temp_faulty > temp_healthy + 0.4,
+        "losing a radiant loop should warm its subspaces: {temp_faulty} vs {temp_healthy}"
+    );
+    // The ventilation module is decomposed from cooling: dew holds
+    // everywhere.
+    for id in SubspaceId::ALL {
+        let dew = system.plant().zone_dew_point(id).get();
+        assert!((dew - 18.0).abs() < 1.8, "{id} dew {dew}");
+    }
+    // Crucially: a stagnant loop cannot condense.
+    assert!(system.plant().panel_condensate_total() < 5.0e-3);
+}
+
+#[test]
+fn stuck_full_fan_overcools_but_stays_safe() {
+    // Airbox 0's fan driver latches at L4 from the start.
+    let mut system = system_with_faults(vec![FaultEvent {
+        at: SimTime::ZERO,
+        repaired_at: None,
+        fault: ActuatorFault::FanStuck {
+            airbox: 0,
+            level: FanLevel::L4,
+        },
+    }]);
+    system.run_seconds(90 * 60);
+
+    // The room still converges (a stuck-on fan over-ventilates, it does
+    // not destabilize), and nothing condenses.
+    for id in SubspaceId::ALL {
+        let temp = system.plant().zone_temperature(id).get();
+        assert!((temp - 25.0).abs() < 2.0, "{id} at {temp}");
+    }
+    assert!(system.plant().panel_condensate_total() < 5.0e-3);
+}
+
+#[test]
+fn repaired_fault_recovers_the_subspace() {
+    // Subspace 2's coil dies at minute 40; a two-minute door opening at
+    // minute 50 loads subspaces 1-2 with moisture. Subspace 1 cleans
+    // itself up; subspace 2 cannot (its controller correctly refuses to
+    // blow unconditioned air) and stays elevated until the repair at
+    // minute 80.
+    use bubblezero::simcore::SimDuration;
+    use bubblezero::thermal::disturbance::{DisturbanceSchedule, OpeningEvent, OpeningKind};
+    let plant = PlantConfig::bubble_zero_lab()
+        .with_faults(FaultSchedule::new(vec![FaultEvent {
+            at: SimTime::from_mins(40),
+            repaired_at: Some(SimTime::from_mins(80)),
+            fault: ActuatorFault::CoilPumpDead { airbox: 1 },
+        }]))
+        .with_disturbances(DisturbanceSchedule::new(vec![OpeningEvent {
+            at: SimTime::from_mins(50),
+            duration: SimDuration::from_secs(120),
+            kind: OpeningKind::Door,
+        }]));
+    let mut system = BubbleZeroSystem::new(SystemConfig::paper_deployment(plant));
+
+    // To minute 78: fault + disturbance in force.
+    system.run_seconds(78 * 60);
+    let dew_faulty_during = system.plant().zone_dew_point(SubspaceId::S2).get();
+    let dew_healthy_during = system.plant().zone_dew_point(SubspaceId::S1).get();
+    assert!(
+        dew_faulty_during > dew_healthy_during + 0.2,
+        "the dead-coil subspace should lag its neighbour's cleanup:          {dew_faulty_during} vs {dew_healthy_during}"
+    );
+
+    // Repair at minute 80, then half an hour to recover.
+    system.run_seconds(35 * 60);
+    let dew_after = system.plant().zone_dew_point(SubspaceId::S2).get();
+    assert!(
+        dew_after < dew_faulty_during - 0.2,
+        "repair should dry the subspace back: {dew_faulty_during} -> {dew_after}"
+    );
+    assert!((dew_after - 18.0).abs() < 1.3, "recovered to {dew_after}");
+}
