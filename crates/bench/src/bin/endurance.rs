@@ -17,6 +17,7 @@ use bz_thermal::plant::PlantConfig;
 use bz_thermal::zone::SubspaceId;
 
 fn main() {
+    let metrics = bz_bench::profiling_begin();
     header("Endurance — 7 simulated days of continuous operation");
     let duration = SimDuration::from_hours(7 * 24);
     let mut rng = Rng::seed_from(0x7DA7);
@@ -100,4 +101,5 @@ fn main() {
         "condensation crept in during the week"
     );
     println!("\nendurance run completed with no drift.");
+    bz_bench::profiling_finish(metrics);
 }

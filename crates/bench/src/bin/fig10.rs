@@ -15,6 +15,7 @@ use bz_simcore::{SimDuration, SimTime};
 use bz_thermal::zone::SubspaceId;
 
 fn main() {
+    let metrics = bz_bench::profiling_begin();
     header("Fig. 10 — BubbleZERO afternoon trial (13:00-14:45)");
     let trial = AfternoonTrial::paper_setup();
     let outcome = trial.run();
@@ -193,4 +194,5 @@ fn main() {
         .write_wide_csv(&name_refs, File::create(&path).expect("create csv"))
         .expect("write csv");
     println!("\nseries written to {}", path.display());
+    bz_bench::profiling_finish(metrics);
 }

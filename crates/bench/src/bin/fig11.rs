@@ -15,6 +15,7 @@ use bz_core::scenario::AfternoonTrial;
 use bz_psychro::Celsius;
 
 fn main() {
+    let metrics = bz_bench::profiling_begin();
     header("Fig. 11 — COP comparison");
 
     // BubbleZERO: steady-state window of the afternoon trial.
@@ -114,4 +115,5 @@ fn main() {
         "panel condensate (kg, must be 0)",
         format!("{:.6}", outcome.panel_condensate_kg),
     );
+    bz_bench::profiling_finish(metrics);
 }

@@ -14,6 +14,7 @@ use bz_core::scenario::{NetworkTrial, VarianceReplay};
 use bz_wsn::platform::{clustering_time_ms, histogram_ram_bytes};
 
 fn main() {
+    let metrics = bz_bench::profiling_begin();
     header("Fig. 12 — histogram size N: accuracy / RAM / CPU");
     println!("  running the 5-hour networking trial once...");
     let outcome = NetworkTrial::paper_setup().run();
@@ -68,4 +69,5 @@ fn main() {
         "1600",
         format!("{:.0}", clustering_time_ms(60)),
     );
+    bz_bench::profiling_finish(metrics);
 }

@@ -13,6 +13,7 @@ use bz_core::scenario::{NetworkTrial, VarianceReplay};
 use bz_simcore::SimDuration;
 
 fn main() {
+    let metrics = bz_bench::profiling_begin();
     header("Fig. 13 — accuracy over time at N = 40");
     println!("  running the 5-hour networking trial once...");
     let outcome = NetworkTrial::paper_setup().run();
@@ -61,4 +62,5 @@ fn main() {
             "no"
         },
     );
+    bz_bench::profiling_finish(metrics);
 }

@@ -14,6 +14,7 @@ use bz_simcore::SimDuration;
 use bz_wsn::message::DataType;
 
 fn main() {
+    let metrics = bz_bench::profiling_begin();
     header("Fig. 14 — send-period adaptation across door events");
     println!("  running the 5-hour networking trial once...");
     let outcome = NetworkTrial::paper_setup().run();
@@ -86,4 +87,5 @@ fn main() {
         compare("average detection delay (s)", "2.7", format!("{avg:.1}"));
         compare("maximum detection delay (s)", "4", format!("{max:.1}"));
     }
+    bz_bench::profiling_finish(metrics);
 }

@@ -19,6 +19,7 @@ use bz_wsn::energy::EnergyModel;
 use bz_wsn::message::DataType;
 
 fn main() {
+    let metrics = bz_bench::profiling_begin();
     header("Fig. 15 — send-period CDF and battery lifetime");
     println!("  running the 5-hour networking trial (adaptive)...");
     let adaptive = NetworkTrial::paper_setup().run();
@@ -109,6 +110,7 @@ fn main() {
             100.0 * (1.0 - tx_adaptive as f64 / tx_fixed as f64)
         ),
     );
+    bz_bench::profiling_finish(metrics);
 }
 
 fn mean_lifetime(reports: &[bz_core::system::BtDeviceReport]) -> f64 {

@@ -27,10 +27,11 @@ USAGE:
 COMMANDS:
     trial      run the closed-loop afternoon trial
                  --minutes N (105)  --seed S  --csv PATH  --quiet
+                 --metrics-out PATH
     cop        steady-state COP comparison vs the AirCon baseline
                  --settle-mins N (40)  --meter-mins N (20)
     network    run the wireless networking trial
-                 --minutes N (300)  --fixed
+                 --minutes N (300)  --fixed  --metrics-out PATH
     comfort    PMV/PPD report for a room condition
                  --temp T (25)  --dew D (18)  --panel P (22)
     multihop   building-scale multicast planning
@@ -38,8 +39,13 @@ COMMANDS:
     sniff      run with a sniffer attached and dump the capture
                  --minutes N (10)  --csv PATH
     endurance  long continuous run with periodic events
-                 --days N (1)
+                 --days N (1)  --metrics-out PATH
     help       print this text
+
+`--metrics-out PATH` enables the bz-obs telemetry layer for the run and
+writes the collected metrics to PATH — JSONL by default, CSV when PATH
+ends in `.csv` (see docs/OBSERVABILITY.md). The export is deterministic:
+two runs with the same seed produce byte-identical files.
 ";
 
 /// Runs a subcommand; returns the text to print or a usage error.
@@ -65,11 +71,48 @@ pub fn run(command: &str, raw: Vec<String>) -> Result<String, ArgError> {
     }
 }
 
+/// Turns telemetry on (cleared) when `--metrics-out` was given and
+/// returns the output path.
+///
+/// # Errors
+///
+/// Returns an error if the flag is present without a path, so a
+/// truncated invocation cannot silently skip the export.
+fn metrics_begin(args: &Args) -> Result<Option<String>, ArgError> {
+    match args.get("metrics-out") {
+        Some(path) => {
+            bz_obs::enable();
+            bz_obs::reset();
+            Ok(Some(path.to_owned()))
+        }
+        None if args.flag("metrics-out") => Err(ArgError::new("flag --metrics-out needs a value")),
+        None => Ok(None),
+    }
+}
+
+/// Disables telemetry, writes the export to `path` (CSV when the path
+/// ends in `.csv`, JSONL otherwise), and appends the summary table to
+/// `out`.
+fn metrics_finish(path: &str, out: &mut String) -> Result<(), ArgError> {
+    bz_obs::disable();
+    let file =
+        File::create(path).map_err(|e| ArgError::new(format!("cannot create {path}: {e}")))?;
+    let written = if path.ends_with(".csv") {
+        bz_obs::write_csv(file)
+    } else {
+        bz_obs::write_jsonl(file)
+    };
+    written.map_err(|e| ArgError::new(format!("cannot write {path}: {e}")))?;
+    *out += &format!("\nmetrics written to {path}\n{}", bz_obs::summary_table());
+    Ok(())
+}
+
 fn trial(args: &Args) -> Result<String, ArgError> {
-    args.expect_only(&["minutes", "seed", "csv", "quiet"])?;
+    args.expect_only(&["minutes", "seed", "csv", "quiet", "metrics-out"])?;
     let minutes: u64 = args.get_or("minutes", 105)?;
     let seed: u64 = args.get_or("seed", 0x5EED_0001)?;
     let quiet = args.flag("quiet");
+    let metrics = metrics_begin(args)?;
 
     let plant = PlantConfig::bubble_zero_lab()
         .with_seed(seed ^ 0x9E37)
@@ -83,6 +126,9 @@ fn trial(args: &Args) -> Result<String, ArgError> {
     let mut out = String::new();
     for minute in 1..=minutes {
         system.run_seconds(60);
+        // Per-minute counter samples give the export trajectories, not
+        // just end-of-run totals.
+        bz_obs::record_counters(system.now().as_millis());
         let plant = system.plant();
         for id in SubspaceId::ALL {
             trace.record(
@@ -133,6 +179,9 @@ fn trial(args: &Args) -> Result<String, ArgError> {
             .map_err(|e| ArgError::new(format!("cannot write {path}: {e}")))?;
         out += &format!("series written to {path}\n");
     }
+    if let Some(path) = metrics {
+        metrics_finish(&path, &mut out)?;
+    }
     Ok(out)
 }
 
@@ -171,16 +220,18 @@ fn cop(args: &Args) -> Result<String, ArgError> {
 }
 
 fn network(args: &Args) -> Result<String, ArgError> {
-    args.expect_only(&["minutes", "fixed"])?;
+    args.expect_only(&["minutes", "fixed", "metrics-out"])?;
     let minutes: u64 = args.get_or("minutes", 300)?;
     let mode = if args.flag("fixed") {
         BtMode::Fixed
     } else {
         BtMode::Adaptive
     };
+    let metrics = metrics_begin(args)?;
     let outcome = NetworkTrial::with_mode(mode)
         .with_duration(SimDuration::from_mins(minutes))
         .run();
+    bz_obs::record_counters(SimDuration::from_mins(minutes).as_millis());
     let tx: u64 = outcome.reports.iter().map(|r| r.transmissions).sum();
     let samples: u64 = outcome.reports.iter().map(|r| r.samples).sum();
     let lifetimes: Vec<f64> = outcome
@@ -202,6 +253,9 @@ fn network(args: &Args) -> Result<String, ArgError> {
             let mean = periods.iter().sum::<f64>() / periods.len() as f64;
             out += &format!("mean temperature send period {mean:.1} s\n");
         }
+    }
+    if let Some(path) = metrics {
+        metrics_finish(&path, &mut out)?;
     }
     Ok(out)
 }
@@ -339,11 +393,12 @@ traffic by type:
 }
 
 fn endurance(args: &Args) -> Result<String, ArgError> {
-    args.expect_only(&["days"])?;
+    args.expect_only(&["days", "metrics-out"])?;
     let days: u64 = args.get_or("days", 1)?;
     if days == 0 || days > 30 {
         return Err(ArgError::new("--days must be between 1 and 30"));
     }
+    let metrics = metrics_begin(args)?;
     let duration = SimDuration::from_hours(days * 24);
     let mut rng = bz_simcore::Rng::seed_from(0x7DA7);
     let plant = PlantConfig::bubble_zero_lab()
@@ -352,6 +407,7 @@ fn endurance(args: &Args) -> Result<String, ArgError> {
     let mut out = String::new();
     for day in 1..=days {
         system.run_seconds(24 * 3_600);
+        bz_obs::record_counters(system.now().as_millis());
         out += &format!(
             "day {day}: T1 {:.2} °C, dew1 {:.2} °C, condensate {:.4} kg
 ",
@@ -369,6 +425,9 @@ after {days} day(s): delivery {:.1}%, mean projected device lifetime {mean_life:
 ",
         100.0 * system.network().stats().delivery_ratio(),
     );
+    if let Some(path) = metrics {
+        metrics_finish(&path, &mut out)?;
+    }
     Ok(out)
 }
 

@@ -112,6 +112,9 @@ impl Pid {
             + self.config.ki * tentative_integral
             + self.config.kd * derivative;
         let clamped = unclamped.clamp(self.config.output_min, self.config.output_max);
+        if clamped != unclamped {
+            bz_obs::counter_inc("core.pid.saturation");
+        }
         if clamped != unclamped && self.config.ki > 0.0 {
             self.integral =
                 (clamped - self.config.kp * error - self.config.kd * derivative) / self.config.ki;

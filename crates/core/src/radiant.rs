@@ -256,6 +256,11 @@ impl RadiantController {
         // the dew side).
         let dew_floor = Celsius::new(ceiling_dew.get() + self.config.dew_margin_k);
         let mix_target = supply.max(dew_floor);
+        if mix_target > supply {
+            // The dew floor is binding: the mix setpoint was raised above
+            // the tank supply to keep the panels above condensation.
+            bz_obs::counter_inc("core.radiant.condensation_guard");
+        }
 
         // ΔT = T_room − T_pref drives the flow PID.
         let error_k = room.get() - self.targets.temperature.get();

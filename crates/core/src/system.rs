@@ -15,7 +15,7 @@
 //! - the plant advances 1 s at a time under those commands.
 
 use bz_psychro::{Celsius, Percent};
-use bz_simcore::{Rng, SimDuration, SimTime};
+use bz_simcore::{EventQueue, Rng, SimDuration, SimTime};
 use bz_thermal::plant::{ActuatorCommands, PlantConfig, ThermalPlant};
 use bz_thermal::zone::SubspaceId;
 use bz_wsn::ac_schedule::AcScheduler;
@@ -155,6 +155,18 @@ enum AcKind {
     Outlet(usize),
 }
 
+/// A device action pending on the system's event queue. AC fire events
+/// are invalidated lazily: a contention reschedule updates the stream's
+/// `next_fire` and enqueues a fresh event, and a popped event whose time
+/// no longer matches `next_fire` is discarded as stale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SystemEvent {
+    /// Battery stream `index` takes (and maybe transmits) a sample.
+    BtSample(usize),
+    /// AC stream `index` broadcasts.
+    AcFire(usize),
+}
+
 /// One logged BT-ADPT decision (Fig. 12–14 raw material).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DecisionRecord {
@@ -200,6 +212,7 @@ pub struct BubbleZeroSystem {
     bt_streams: Vec<BtStream>,
     bt_ledgers: Vec<EnergyLedger>,
     ac_streams: Vec<AcStream>,
+    events: EventQueue<SystemEvent>,
     commands: ActuatorCommands,
     now: SimTime,
     next_control: SimTime,
@@ -348,6 +361,17 @@ impl BubbleZeroSystem {
             );
         }
 
+        // Seed the event queue: one pending action per stream. From here
+        // on, every device action flows through the queue in time order
+        // (FIFO among same-millisecond ties).
+        let mut events = EventQueue::new();
+        for (i, stream) in bt_streams.iter().enumerate() {
+            events.schedule(stream.next_sample, SystemEvent::BtSample(i));
+        }
+        for (i, stream) in ac_streams.iter().enumerate() {
+            events.schedule(stream.next_fire, SystemEvent::AcFire(i));
+        }
+
         let config2_sniffer = config.enable_sniffer.then(Sniffer::new);
         Self {
             config,
@@ -358,6 +382,7 @@ impl BubbleZeroSystem {
             bt_streams,
             bt_ledgers,
             ac_streams,
+            events,
             commands: ActuatorCommands::all_off(),
             now: SimTime::ZERO,
             next_control: SimTime::ZERO,
@@ -473,6 +498,13 @@ impl BubbleZeroSystem {
         self.bt_streams.len()
     }
 
+    /// Number of device actions pending on the event queue (one per live
+    /// stream, plus any stale contention-superseded AC firings).
+    #[must_use]
+    pub fn pending_events(&self) -> usize {
+        self.events.len()
+    }
+
     /// The data type carried by battery stream `index`.
     ///
     /// # Panics
@@ -534,25 +566,33 @@ impl BubbleZeroSystem {
 
     /// Advances the whole system by one second.
     pub fn step_second(&mut self) {
+        let step_span = bz_obs::span("core.step_second", self.now.as_millis());
         let next = self.now + SimDuration::from_secs(1);
 
-        // --- Battery sampling + adaptive transmission ---------------------
-        for i in 0..self.bt_streams.len() {
-            while self.bt_streams[i].next_sample < next {
-                let at = self.bt_streams[i].next_sample;
-                self.sample_bt_stream(i, at);
-                let period = self.bt_streams[i].sampling_period;
-                self.bt_streams[i].next_sample += period;
-            }
-        }
-
-        // --- AC broadcasts --------------------------------------------------
-        for i in 0..self.ac_streams.len() {
-            while self.ac_streams[i].next_fire < next {
-                let at = self.ac_streams[i].next_fire;
-                self.fire_ac_stream(i, at);
-                let after = at + SimDuration::from_millis(1);
-                self.ac_streams[i].next_fire = self.ac_streams[i].scheduler.next_fire(after);
+        // --- Device events (battery sampling, AC broadcasts) ---------------
+        // Drain everything strictly before `next` in global time order;
+        // each handled event reschedules its stream's next occurrence.
+        let deadline = SimTime::from_millis(next.as_millis() - 1);
+        while let Some((at, event)) = self.events.pop_due(deadline) {
+            match event {
+                SystemEvent::BtSample(i) => {
+                    self.sample_bt_stream(i, at);
+                    let period = self.bt_streams[i].sampling_period;
+                    self.bt_streams[i].next_sample = at + period;
+                    self.events.schedule(at + period, SystemEvent::BtSample(i));
+                }
+                SystemEvent::AcFire(i) => {
+                    if at != self.ac_streams[i].next_fire {
+                        // Stale: a contention reschedule superseded this
+                        // firing while it sat on the queue.
+                        continue;
+                    }
+                    self.fire_ac_stream(i, at);
+                    let after = at + SimDuration::from_millis(1);
+                    let fire = self.ac_streams[i].scheduler.next_fire(after);
+                    self.ac_streams[i].next_fire = fire;
+                    self.events.schedule(fire, SystemEvent::AcFire(i));
+                }
             }
         }
 
@@ -568,23 +608,34 @@ impl BubbleZeroSystem {
         }
         let failures = self.network.take_failures();
         for (message, failure) in failures {
-            for ac in &mut self.ac_streams {
+            for (i, ac) in self.ac_streams.iter_mut().enumerate() {
                 if ac.node == message.source() {
                     ac.scheduler.report_failure(failure);
                     let after = self.now + SimDuration::from_millis(1);
                     ac.next_fire = ac.scheduler.next_fire(after);
+                    // The previously queued firing is now stale; enqueue
+                    // the adapted one.
+                    self.events.schedule(ac.next_fire, SystemEvent::AcFire(i));
                 }
             }
         }
 
         // --- Control cycle ----------------------------------------------------
         if self.now >= self.next_control {
+            let tick_span = bz_obs::span("core.control_tick", self.now.as_millis());
             self.run_control_cycle();
             self.next_control = self.now + self.config.control_period;
+            bz_obs::gauge_set(
+                "simcore.event_queue.depth",
+                self.now.as_millis(),
+                self.events.len() as f64,
+            );
+            tick_span.exit(self.now.as_millis());
         }
 
         // --- Plant ---------------------------------------------------------
         self.plant.step(SimDuration::from_secs(1), &self.commands);
+        step_span.exit(self.now.as_millis());
     }
 
     fn sample_bt_stream(&mut self, index: usize, at: SimTime) {

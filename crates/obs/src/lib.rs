@@ -1,0 +1,262 @@
+//! Observability layer for the BubbleZERO reproduction.
+//!
+//! `bz-obs` provides three pieces, all addressed by `&'static str` keys and
+//! all keyed to the deterministic millisecond simulation clock rather than
+//! wall time:
+//!
+//! 1. **Spans** — [`span`] returns a guard; closing it with
+//!    [`SpanGuard::exit`] records both the simulated duration (exported,
+//!    deterministic) and the wall-clock duration (summary table only).
+//!    Spans nest; each records its depth at entry.
+//! 2. **Metrics registry** — saturating [counters](counter_add), last-value
+//!    [gauges](gauge_set), and fixed-bucket [histograms](observe) borrowing
+//!    the `bz-wsn` bucketing idiom.
+//! 3. **Exporters** — [`write_jsonl`] / [`write_csv`] for machines plus a
+//!    human [`summary_table`]; formats are documented in
+//!    `docs/OBSERVABILITY.md`.
+//!
+//! Collection is off by default and gated behind one relaxed atomic load,
+//! so fully instrumented hot paths cost nothing measurable when telemetry
+//! is disabled. The global registry is process-wide; embedders that need
+//! isolation (unit tests, parallel trials) can drive a plain [`Registry`]
+//! value directly instead.
+//!
+//! # Example
+//!
+//! ```
+//! bz_obs::enable();
+//! bz_obs::reset();
+//!
+//! let tick = bz_obs::span("core.control_tick", 5_000);
+//! bz_obs::counter_inc("wsn.packets.sent");
+//! bz_obs::gauge_set("thermal.chiller.radiant_w", 5_000, 142.5);
+//! bz_obs::observe("wsn.btadpt.send_period_s", 2.0);
+//! tick.exit(5_010);
+//!
+//! let snapshot = bz_obs::snapshot();
+//! assert_eq!(snapshot.counters["wsn.packets.sent"], 1);
+//! assert_eq!(snapshot.spans["core.control_tick"].sim_ms_total, 10);
+//! bz_obs::disable();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hist;
+mod registry;
+mod span;
+
+pub use hist::{FixedHistogram, DEFAULT_BUCKETS};
+pub use registry::{Event, Registry, Snapshot, SpanStats, MAX_EVENTS};
+pub use span::SpanGuard;
+
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Master switch; metric calls are no-ops while this is false.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// The process-wide registry, created on first use.
+static GLOBAL: OnceLock<Mutex<Registry>> = OnceLock::new();
+
+/// Runs `f` against the global registry (creating it on first use).
+pub(crate) fn with_registry<T>(f: impl FnOnce(&mut Registry) -> T) -> T {
+    let mutex = GLOBAL.get_or_init(|| Mutex::new(Registry::new()));
+    let mut guard = match mutex.lock() {
+        Ok(guard) => guard,
+        // A panic mid-update can only leave partially-recorded metrics,
+        // never corrupt state worth abandoning telemetry over.
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    f(&mut guard)
+}
+
+/// Turns metric collection on.
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turns metric collection off (already-recorded data is kept).
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Whether collection is currently on.
+#[must_use]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Clears all recorded metrics and events (the enabled flag is untouched).
+pub fn reset() {
+    with_registry(Registry::reset);
+}
+
+/// Adds `delta` to counter `name` (saturating).
+pub fn counter_add(name: &'static str, delta: u64) {
+    if is_enabled() {
+        with_registry(|registry| registry.counter_add(name, delta));
+    }
+}
+
+/// Adds one to counter `name`.
+pub fn counter_inc(name: &'static str) {
+    counter_add(name, 1);
+}
+
+/// Sets gauge `name` to `value` at simulation time `t_ms`.
+pub fn gauge_set(name: &'static str, t_ms: u64, value: f64) {
+    if is_enabled() {
+        with_registry(|registry| registry.gauge_set(name, t_ms, value));
+    }
+}
+
+/// Observes `value` into histogram `name` over [`DEFAULT_BUCKETS`].
+pub fn observe(name: &'static str, value: f64) {
+    observe_in(name, DEFAULT_BUCKETS, value);
+}
+
+/// Observes `value` into histogram `name`, creating it over `buckets` on
+/// first use (later calls keep the original buckets).
+pub fn observe_in(name: &'static str, buckets: &'static [f64], value: f64) {
+    if is_enabled() {
+        with_registry(|registry| registry.observe(name, buckets, value));
+    }
+}
+
+/// Samples every counter as a timestamped event at simulation time `t_ms`.
+/// Call at a fixed simulated cadence (e.g. once per simulated minute) to
+/// put counter trajectories, not just totals, in the export.
+pub fn record_counters(t_ms: u64) {
+    if is_enabled() {
+        with_registry(|registry| registry.record_counters(t_ms));
+    }
+}
+
+/// Opens a span named `name` at simulation time `sim_now_ms`. Close it
+/// with [`SpanGuard::exit`]; see [`SpanGuard`] for drop semantics.
+#[must_use]
+pub fn span(name: &'static str, sim_now_ms: u64) -> SpanGuard {
+    SpanGuard::enter(name, sim_now_ms, is_enabled())
+}
+
+/// An owned copy of the global registry state.
+#[must_use]
+pub fn snapshot() -> Snapshot {
+    with_registry(|registry| registry.snapshot())
+}
+
+/// Writes the global registry as JSONL (see [`Registry::write_jsonl`]).
+///
+/// # Errors
+///
+/// Returns any I/O error from `out`.
+pub fn write_jsonl<W: Write>(out: W) -> io::Result<()> {
+    with_registry(|registry| registry.write_jsonl(out))
+}
+
+/// Writes the global registry's event stream as CSV (see
+/// [`Registry::write_csv`]).
+///
+/// # Errors
+///
+/// Returns any I/O error from `out`.
+pub fn write_csv<W: Write>(out: W) -> io::Result<()> {
+    with_registry(|registry| registry.write_csv(out))
+}
+
+/// Renders the human-readable end-of-run summary of the global registry.
+#[must_use]
+pub fn summary_table() -> String {
+    with_registry(|registry| registry.summary_table())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The global registry is shared across the test binary, so every
+    /// facade test runs under this lock and restores the disabled state.
+    fn with_exclusive_global(test: impl FnOnce()) {
+        static TEST_LOCK: Mutex<()> = Mutex::new(());
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        enable();
+        reset();
+        test();
+        disable();
+        reset();
+    }
+
+    #[test]
+    fn disabled_facade_records_nothing() {
+        with_exclusive_global(|| {
+            disable();
+            counter_inc("c");
+            gauge_set("g", 0, 1.0);
+            observe("h", 1.0);
+            span("s", 0).exit(10);
+            let snapshot = snapshot();
+            assert!(snapshot.counters.is_empty());
+            assert!(snapshot.gauges.is_empty());
+            assert!(snapshot.histograms.is_empty());
+            assert!(snapshot.spans.is_empty());
+            assert!(snapshot.events.is_empty());
+        });
+    }
+
+    #[test]
+    fn spans_nest_and_record_depth_and_sim_duration() {
+        with_exclusive_global(|| {
+            let outer = span("outer", 1_000);
+            let inner = span("inner", 1_200);
+            inner.exit(1_300);
+            outer.exit(2_000);
+
+            let snapshot = snapshot();
+            assert_eq!(snapshot.spans["outer"].sim_ms_total, 1_000);
+            assert_eq!(snapshot.spans["inner"].sim_ms_total, 100);
+            let depths: Vec<(&str, u32)> = snapshot
+                .events
+                .iter()
+                .filter_map(|event| match *event {
+                    Event::Span { name, depth, .. } => Some((name, depth)),
+                    _ => None,
+                })
+                .collect();
+            // Inner exits first, at depth 1; outer carries depth 0.
+            assert_eq!(depths, vec![("inner", 1), ("outer", 0)]);
+        });
+    }
+
+    #[test]
+    fn dropped_guard_still_counts_the_span() {
+        with_exclusive_global(|| {
+            {
+                let _guard = span("dropped", 500);
+                // Early exit without `exit()`.
+            }
+            let stats = snapshot().spans["dropped"];
+            assert_eq!(stats.count, 1);
+            assert_eq!(stats.sim_ms_total, 0);
+        });
+    }
+
+    #[test]
+    fn exit_before_entry_time_saturates_to_zero() {
+        with_exclusive_global(|| {
+            span("backwards", 1_000).exit(400);
+            assert_eq!(snapshot().spans["backwards"].sim_ms_total, 0);
+        });
+    }
+
+    #[test]
+    fn facade_histogram_uses_default_buckets() {
+        with_exclusive_global(|| {
+            observe("h", 3.0);
+            let snapshot = snapshot();
+            assert_eq!(snapshot.histograms["h"].edges(), DEFAULT_BUCKETS);
+            assert_eq!(snapshot.histograms["h"].count(), 1);
+        });
+    }
+}

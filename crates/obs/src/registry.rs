@@ -1,0 +1,524 @@
+//! The metrics registry: named counters, gauges, histograms, span
+//! aggregates, and the timestamped event stream behind the exporters.
+
+use std::collections::BTreeMap;
+use std::io::{self, Write};
+
+use crate::hist::FixedHistogram;
+
+/// Hard cap on buffered events; beyond it events are counted but dropped,
+/// so a runaway run degrades to totals-only instead of exhausting memory.
+pub const MAX_EVENTS: usize = 2_000_000;
+
+/// One timestamped entry in the exported stream. All fields are functions
+/// of the deterministic simulation alone — never of wall-clock time — so a
+/// seeded run exports byte-identical events every time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event {
+    /// A counter's value sampled at a sim instant (see
+    /// [`Registry::record_counters`]).
+    Counter {
+        /// Metric key.
+        name: &'static str,
+        /// Simulation time of the sample, ms.
+        t_ms: u64,
+        /// Counter value at that instant.
+        value: u64,
+    },
+    /// A gauge update.
+    Gauge {
+        /// Metric key.
+        name: &'static str,
+        /// Simulation time of the update, ms.
+        t_ms: u64,
+        /// The new gauge value.
+        value: f64,
+    },
+    /// A completed span.
+    Span {
+        /// Span key.
+        name: &'static str,
+        /// Simulation time at span entry, ms.
+        t_ms: u64,
+        /// Simulated duration covered by the span, ms.
+        sim_ms: u64,
+        /// Nesting depth at entry (0 = outermost).
+        depth: u32,
+    },
+}
+
+/// Aggregate statistics of one span key.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SpanStats {
+    /// Completed spans.
+    pub count: u64,
+    /// Total simulated time covered, ms.
+    pub sim_ms_total: u64,
+    /// Total wall-clock time spent, ns. **Not exported to JSONL/CSV** —
+    /// wall time is nondeterministic and lives only in the summary table.
+    pub wall_ns_total: u128,
+    /// Largest single wall-clock duration, ns.
+    pub wall_ns_max: u128,
+}
+
+/// An owned, inspectable copy of the registry state (see
+/// [`crate::snapshot`]).
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Counter totals by key.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Last-set gauge values by key.
+    pub gauges: BTreeMap<&'static str, f64>,
+    /// Histograms by key.
+    pub histograms: BTreeMap<&'static str, FixedHistogram>,
+    /// Span aggregates by key.
+    pub spans: BTreeMap<&'static str, SpanStats>,
+    /// Buffered events in record order.
+    pub events: Vec<Event>,
+    /// Events discarded after [`MAX_EVENTS`] was reached.
+    pub dropped_events: u64,
+}
+
+/// The mutable store behind the crate's global facade. It is a plain
+/// struct so unit tests (and alternative embeddings) can drive one
+/// directly without touching process-global state.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+    histograms: BTreeMap<&'static str, FixedHistogram>,
+    spans: BTreeMap<&'static str, SpanStats>,
+    events: Vec<Event>,
+    dropped_events: u64,
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push_event(&mut self, event: Event) {
+        if self.events.len() < MAX_EVENTS {
+            self.events.push(event);
+        } else {
+            self.dropped_events = self.dropped_events.saturating_add(1);
+        }
+    }
+
+    /// Adds `delta` to the counter `name`, saturating at `u64::MAX`.
+    pub fn counter_add(&mut self, name: &'static str, delta: u64) {
+        let slot = self.counters.entry(name).or_insert(0);
+        *slot = slot.saturating_add(delta);
+    }
+
+    /// Sets gauge `name` to `value` and records a timestamped event.
+    pub fn gauge_set(&mut self, name: &'static str, t_ms: u64, value: f64) {
+        self.gauges.insert(name, value);
+        self.push_event(Event::Gauge { name, t_ms, value });
+    }
+
+    /// Observes `value` into histogram `name`, creating it over `buckets`
+    /// on first use. Later calls keep the original buckets.
+    pub fn observe(&mut self, name: &'static str, buckets: &'static [f64], value: f64) {
+        self.histograms
+            .entry(name)
+            .or_insert_with(|| FixedHistogram::new(buckets))
+            .observe(value);
+    }
+
+    /// Records a completed span occurrence.
+    pub fn span_complete(
+        &mut self,
+        name: &'static str,
+        t_ms: u64,
+        sim_ms: u64,
+        depth: u32,
+        wall_ns: u128,
+    ) {
+        let stats = self.spans.entry(name).or_default();
+        stats.count = stats.count.saturating_add(1);
+        stats.sim_ms_total = stats.sim_ms_total.saturating_add(sim_ms);
+        stats.wall_ns_total = stats.wall_ns_total.saturating_add(wall_ns);
+        stats.wall_ns_max = stats.wall_ns_max.max(wall_ns);
+        self.push_event(Event::Span {
+            name,
+            t_ms,
+            sim_ms,
+            depth,
+        });
+    }
+
+    /// Samples every counter as a timestamped event (call this at a fixed
+    /// simulated cadence to put counter trajectories in the export).
+    pub fn record_counters(&mut self, t_ms: u64) {
+        let samples: Vec<(&'static str, u64)> =
+            self.counters.iter().map(|(&k, &v)| (k, v)).collect();
+        for (name, value) in samples {
+            self.push_event(Event::Counter { name, t_ms, value });
+        }
+    }
+
+    /// An owned copy of everything the registry holds.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: self.counters.clone(),
+            gauges: self.gauges.clone(),
+            histograms: self.histograms.clone(),
+            spans: self.spans.clone(),
+            events: self.events.clone(),
+            dropped_events: self.dropped_events,
+        }
+    }
+
+    /// Clears all metrics, events, and drop counts.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+
+    /// Writes the JSONL export: one JSON object per line — the event
+    /// stream in record order, then per-key totals in sorted key order.
+    ///
+    /// Everything written is deterministic for a seeded run; wall-clock
+    /// span timings are deliberately excluded (see
+    /// `docs/OBSERVABILITY.md`).
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from `out`.
+    pub fn write_jsonl<W: Write>(&self, mut out: W) -> io::Result<()> {
+        for event in &self.events {
+            match *event {
+                Event::Counter { name, t_ms, value } => writeln!(
+                    out,
+                    "{{\"kind\":\"counter\",\"name\":\"{}\",\"t_ms\":{t_ms},\"value\":{value}}}",
+                    escape(name)
+                )?,
+                Event::Gauge { name, t_ms, value } => writeln!(
+                    out,
+                    "{{\"kind\":\"gauge\",\"name\":\"{}\",\"t_ms\":{t_ms},\"value\":{}}}",
+                    escape(name),
+                    json_f64(value)
+                )?,
+                Event::Span {
+                    name,
+                    t_ms,
+                    sim_ms,
+                    depth,
+                } => writeln!(
+                    out,
+                    "{{\"kind\":\"span\",\"name\":\"{}\",\"t_ms\":{t_ms},\"sim_ms\":{sim_ms},\"depth\":{depth}}}",
+                    escape(name)
+                )?,
+            }
+        }
+        for (name, value) in &self.counters {
+            writeln!(
+                out,
+                "{{\"kind\":\"counter_total\",\"name\":\"{}\",\"value\":{value}}}",
+                escape(name)
+            )?;
+        }
+        for (name, value) in &self.gauges {
+            writeln!(
+                out,
+                "{{\"kind\":\"gauge_last\",\"name\":\"{}\",\"value\":{}}}",
+                escape(name),
+                json_f64(*value)
+            )?;
+        }
+        for (name, hist) in &self.histograms {
+            let edges: Vec<String> = hist.edges().iter().map(|&e| json_f64(e)).collect();
+            let counts: Vec<String> = hist.counts().iter().map(u64::to_string).collect();
+            writeln!(
+                out,
+                "{{\"kind\":\"histogram\",\"name\":\"{}\",\"edges\":[{}],\"counts\":[{}],\"count\":{},\"sum\":{}}}",
+                escape(name),
+                edges.join(","),
+                counts.join(","),
+                hist.count(),
+                json_f64(hist.sum()),
+            )?;
+        }
+        for (name, stats) in &self.spans {
+            writeln!(
+                out,
+                "{{\"kind\":\"span_total\",\"name\":\"{}\",\"count\":{},\"sim_ms_total\":{}}}",
+                escape(name),
+                stats.count,
+                stats.sim_ms_total
+            )?;
+        }
+        writeln!(
+            out,
+            "{{\"kind\":\"meta\",\"dropped_events\":{}}}",
+            self.dropped_events
+        )
+    }
+
+    /// Writes the event stream as CSV with the columns
+    /// `t_ms,kind,name,value,sim_ms,depth` (blank where not applicable).
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from `out`.
+    pub fn write_csv<W: Write>(&self, mut out: W) -> io::Result<()> {
+        writeln!(out, "t_ms,kind,name,value,sim_ms,depth")?;
+        for event in &self.events {
+            match *event {
+                Event::Counter { name, t_ms, value } => {
+                    writeln!(out, "{t_ms},counter,{name},{value},,")?;
+                }
+                Event::Gauge { name, t_ms, value } => {
+                    writeln!(out, "{t_ms},gauge,{name},{},,", json_f64(value))?;
+                }
+                Event::Span {
+                    name,
+                    t_ms,
+                    sim_ms,
+                    depth,
+                } => writeln!(out, "{t_ms},span,{name},,{sim_ms},{depth}")?,
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the human-readable end-of-run summary. This is the one
+    /// place wall-clock span timings appear; it is intended for stderr /
+    /// stdout, not for files that get diffed across runs.
+    #[must_use]
+    pub fn summary_table(&self) -> String {
+        let mut out = String::new();
+        if !self.spans.is_empty() {
+            out += "spans (per-stage timing):\n";
+            out += &format!(
+                "  {:<34} {:>9} {:>12} {:>12} {:>12}\n",
+                "name", "count", "sim total s", "wall mean µs", "wall max µs"
+            );
+            for (name, s) in &self.spans {
+                let mean_us = if s.count == 0 {
+                    0.0
+                } else {
+                    s.wall_ns_total as f64 / s.count as f64 / 1_000.0
+                };
+                out += &format!(
+                    "  {:<34} {:>9} {:>12.1} {:>12.2} {:>12.2}\n",
+                    name,
+                    s.count,
+                    s.sim_ms_total as f64 / 1_000.0,
+                    mean_us,
+                    s.wall_ns_max as f64 / 1_000.0,
+                );
+            }
+        }
+        if !self.counters.is_empty() {
+            out += "counters:\n";
+            for (name, value) in &self.counters {
+                out += &format!("  {name:<34} {value:>12}\n");
+            }
+        }
+        if !self.gauges.is_empty() {
+            out += "gauges (last value):\n";
+            for (name, value) in &self.gauges {
+                out += &format!("  {name:<34} {value:>12.3}\n");
+            }
+        }
+        if !self.histograms.is_empty() {
+            out += "histograms:\n";
+            for (name, hist) in &self.histograms {
+                out += &format!(
+                    "  {:<34} count {} mean {:.3} min {:.3} max {:.3}\n",
+                    name,
+                    hist.count(),
+                    hist.mean().unwrap_or(0.0),
+                    hist.min(),
+                    hist.max()
+                );
+            }
+        }
+        if self.dropped_events > 0 {
+            out += &format!("dropped events: {}\n", self.dropped_events);
+        }
+        out
+    }
+}
+
+/// Escapes a metric key for embedding in a JSON string literal.
+fn escape(name: &str) -> String {
+    if name
+        .chars()
+        .all(|c| c.is_ascii_graphic() && c != '"' && c != '\\')
+    {
+        return name.to_owned();
+    }
+    let mut escaped = String::with_capacity(name.len() + 4);
+    for c in name.chars() {
+        match c {
+            '"' => escaped.push_str("\\\""),
+            '\\' => escaped.push_str("\\\\"),
+            '\n' => escaped.push_str("\\n"),
+            '\r' => escaped.push_str("\\r"),
+            '\t' => escaped.push_str("\\t"),
+            c if (c as u32) < 0x20 => escaped.push_str(&format!("\\u{:04x}", c as u32)),
+            c => escaped.push(c),
+        }
+    }
+    escaped
+}
+
+/// Formats an `f64` as a JSON number (`null` for non-finite values).
+fn json_f64(value: f64) -> String {
+    if value.is_finite() {
+        let text = format!("{value}");
+        // `{}` on f64 never emits exponents, so the result is always a
+        // valid JSON number.
+        text
+    } else {
+        "null".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::DEFAULT_BUCKETS;
+
+    #[test]
+    fn counters_saturate_instead_of_overflowing() {
+        let mut registry = Registry::new();
+        registry.counter_add("c", u64::MAX - 1);
+        registry.counter_add("c", 5);
+        assert_eq!(registry.snapshot().counters["c"], u64::MAX);
+    }
+
+    #[test]
+    fn record_counters_snapshots_all_keys_in_order() {
+        let mut registry = Registry::new();
+        registry.counter_add("b", 2);
+        registry.counter_add("a", 1);
+        registry.record_counters(1_000);
+        let events = registry.snapshot().events;
+        assert_eq!(
+            events,
+            vec![
+                Event::Counter {
+                    name: "a",
+                    t_ms: 1_000,
+                    value: 1
+                },
+                Event::Counter {
+                    name: "b",
+                    t_ms: 1_000,
+                    value: 2
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn jsonl_round_trips_through_a_parser() {
+        let mut registry = Registry::new();
+        registry.counter_add("wsn.packets.sent", 3);
+        registry.gauge_set("thermal.chiller.radiant_w", 2_000, 145.25);
+        registry.observe("wsn.btadpt.send_period_s", DEFAULT_BUCKETS, 2.0);
+        registry.span_complete("core.control_tick", 5_000, 0, 1, 12_345);
+        registry.record_counters(60_000);
+
+        let mut bytes = Vec::new();
+        registry.write_jsonl(&mut bytes).unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+
+        let mut kinds = std::collections::BTreeMap::new();
+        for line in text.lines() {
+            let object = parse_json_object(line)
+                .unwrap_or_else(|| panic!("line is not a flat JSON object: {line}"));
+            *kinds.entry(object["kind"].clone()).or_insert(0u32) += 1;
+            if object["kind"] == "counter_total" && object["name"] == "wsn.packets.sent" {
+                assert_eq!(object["value"], "3");
+            }
+            if object["kind"] == "gauge" {
+                assert_eq!(object["t_ms"], "2000");
+                assert_eq!(object["value"], "145.25");
+            }
+        }
+        for expected in [
+            "counter",
+            "gauge",
+            "span",
+            "counter_total",
+            "gauge_last",
+            "histogram",
+            "span_total",
+            "meta",
+        ] {
+            assert!(kinds.contains_key(expected), "missing kind {expected}");
+        }
+    }
+
+    #[test]
+    fn csv_has_one_row_per_event_plus_header() {
+        let mut registry = Registry::new();
+        registry.gauge_set("g", 1, 0.5);
+        registry.span_complete("s", 2, 1_000, 0, 1);
+        let mut bytes = Vec::new();
+        registry.write_csv(&mut bytes).unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "t_ms,kind,name,value,sim_ms,depth");
+        assert_eq!(lines[2], "2,span,s,,1000,0");
+    }
+
+    #[test]
+    fn event_cap_counts_drops() {
+        let mut registry = Registry::new();
+        for _ in 0..MAX_EVENTS + 10 {
+            registry.gauge_set("g", 0, 0.0);
+        }
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.events.len(), MAX_EVENTS);
+        assert_eq!(snapshot.dropped_events, 10);
+    }
+
+    #[test]
+    fn summary_mentions_every_section() {
+        let mut registry = Registry::new();
+        registry.counter_add("c", 1);
+        registry.gauge_set("g", 0, 1.0);
+        registry.observe("h", DEFAULT_BUCKETS, 1.0);
+        registry.span_complete("s", 0, 1_000, 0, 500);
+        let summary = registry.summary_table();
+        for section in ["spans", "counters", "gauges", "histograms"] {
+            assert!(summary.contains(section), "missing {section}:\n{summary}");
+        }
+    }
+
+    /// Minimal flat-object JSON parser for round-trip checking: returns
+    /// key → raw value text. Good enough for the exporter's own output.
+    fn parse_json_object(line: &str) -> Option<std::collections::BTreeMap<String, String>> {
+        let inner = line.strip_prefix('{')?.strip_suffix('}')?;
+        let mut map = std::collections::BTreeMap::new();
+        let mut rest = inner;
+        while !rest.is_empty() {
+            rest = rest.strip_prefix('"')?;
+            let key_end = rest.find('"')?;
+            let key = rest[..key_end].to_owned();
+            rest = rest[key_end + 1..].strip_prefix(':')?;
+            let value_end = if let Some(quoted) = rest.strip_prefix('"') {
+                quoted.find('"').map(|i| i + 2)?
+            } else if rest.starts_with('[') {
+                rest.find(']').map(|i| i + 1)?
+            } else {
+                rest.find(',').unwrap_or(rest.len())
+            };
+            let value = rest[..value_end].trim_matches('"').to_owned();
+            map.insert(key, value);
+            rest = rest[value_end..]
+                .strip_prefix(',')
+                .unwrap_or(&rest[value_end..]);
+        }
+        Some(map)
+    }
+}

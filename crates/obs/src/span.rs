@@ -1,0 +1,73 @@
+//! Scoped timing spans keyed to the deterministic simulation clock.
+
+use std::cell::Cell;
+use std::time::Instant;
+
+thread_local! {
+    /// Current span nesting depth on this thread.
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// RAII guard for one span occurrence, created by [`crate::span`].
+///
+/// Call [`SpanGuard::exit`] with the current simulation time to record both
+/// the wall-clock and simulated durations. If the guard is instead dropped
+/// (early return, panic unwinding), the span is still recorded with a
+/// simulated duration of zero, so span counts stay truthful even on error
+/// paths.
+#[derive(Debug)]
+pub struct SpanGuard {
+    name: &'static str,
+    wall_start: Instant,
+    sim_start_ms: u64,
+    depth: u32,
+    /// False for guards minted while telemetry is disabled: exits are no-ops.
+    active: bool,
+}
+
+impl SpanGuard {
+    pub(crate) fn enter(name: &'static str, sim_now_ms: u64, active: bool) -> Self {
+        let depth = if active {
+            DEPTH.with(|d| {
+                let depth = d.get();
+                d.set(depth + 1);
+                depth
+            })
+        } else {
+            0
+        };
+        Self {
+            name,
+            wall_start: Instant::now(),
+            sim_start_ms: sim_now_ms,
+            depth,
+            active,
+        }
+    }
+
+    /// Ends the span at simulation time `sim_now_ms`, recording its wall
+    /// and simulated durations in the global registry.
+    pub fn exit(mut self, sim_now_ms: u64) {
+        self.finish(sim_now_ms.saturating_sub(self.sim_start_ms));
+    }
+
+    fn finish(&mut self, sim_ms: u64) {
+        if !self.active {
+            return;
+        }
+        self.active = false;
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        let wall_ns = self.wall_start.elapsed().as_nanos();
+        crate::with_registry(|registry| {
+            registry.span_complete(self.name, self.sim_start_ms, sim_ms, self.depth, wall_ns);
+        });
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        // Fallback for guards not closed with `exit`: the simulated
+        // duration is unknown at drop time, so record it as zero.
+        self.finish(0);
+    }
+}

@@ -74,6 +74,7 @@ impl<E> EventQueue<E> {
 
     /// Schedules `event` to fire at `at`.
     pub fn schedule(&mut self, at: SimTime, event: E) {
+        bz_obs::counter_inc("simcore.event_queue.scheduled");
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Entry { at, seq, event });
@@ -81,7 +82,11 @@ impl<E> EventQueue<E> {
 
     /// Removes and returns the earliest event, or `None` when empty.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|entry| (entry.at, entry.event))
+        let popped = self.heap.pop().map(|entry| (entry.at, entry.event));
+        if popped.is_some() {
+            bz_obs::counter_inc("simcore.event_queue.popped");
+        }
+        popped
     }
 
     /// Removes and returns the earliest event if it fires at or before

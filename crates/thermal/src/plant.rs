@@ -336,6 +336,7 @@ impl ThermalPlant {
     /// Panics if `dt` is zero.
     pub fn step(&mut self, dt: SimDuration, commands: &ActuatorCommands) {
         assert!(!dt.is_zero(), "plant step must advance time");
+        let step_span = bz_obs::span("thermal.plant.step", self.now.as_millis());
         let dt_s = dt.as_secs_f64();
         self.now += dt;
         self.outdoor = self.weather.sample(self.now);
@@ -349,6 +350,7 @@ impl ThermalPlant {
         let mut telemetry = StepTelemetry::default();
 
         // --- Radiant loops ------------------------------------------------
+        let panel_span = bz_obs::span("thermal.panels.step", self.now.as_millis());
         let mut hvac_sensible = [0.0f64; 4];
         let mut hvac_condensation = [0.0f64; 4];
         for panel_idx in 0..2 {
@@ -414,6 +416,8 @@ impl ThermalPlant {
             }
         }
 
+        panel_span.exit(self.now.as_millis());
+
         // --- Airboxes -----------------------------------------------------
         let mut zone_inputs: [ZoneInputs; 4] = Default::default();
         for (i, inputs) in zone_inputs.iter_mut().enumerate() {
@@ -456,6 +460,7 @@ impl ThermalPlant {
         }
 
         // --- Zones (using pre-step neighbor states for symmetry) ----------
+        let zone_span = bz_obs::span("thermal.zones.step", self.now.as_millis());
         self.last_zone_inputs = zone_inputs;
         let pre_states: [AirState; 4] = std::array::from_fn(|i| self.zones[i].state());
         for (i, zone) in self.zones.iter_mut().enumerate() {
@@ -474,6 +479,8 @@ impl ThermalPlant {
             zone.step(dt_s, &zone_inputs[i], self.outdoor, &neighbors);
         }
 
+        zone_span.exit(self.now.as_millis());
+
         // --- Tanks and chillers --------------------------------------------
         // Standby gains: tanks sit in the warm plant room.
         let room_mean = pre_states.iter().map(|s| s.temperature.get()).sum::<f64>() / 4.0;
@@ -488,6 +495,16 @@ impl ThermalPlant {
         self.vent_chiller.regulate(&mut self.vent_tank, dt_s);
         telemetry.radiant_chiller_w = self.radiant_chiller.electrical_power().get();
         telemetry.vent_chiller_w = self.vent_chiller.electrical_power().get();
+        bz_obs::gauge_set(
+            "thermal.chiller.radiant_w",
+            self.now.as_millis(),
+            telemetry.radiant_chiller_w,
+        );
+        bz_obs::gauge_set(
+            "thermal.chiller.vent_w",
+            self.now.as_millis(),
+            telemetry.vent_chiller_w,
+        );
 
         // --- Meters ---------------------------------------------------------
         let dt_sec = Seconds::new(dt_s);
@@ -500,6 +517,7 @@ impl ThermalPlant {
         self.meters.elapsed += dt_sec;
 
         self.telemetry = telemetry;
+        step_span.exit(self.now.as_millis());
     }
 
     // --- Ground-truth accessors (for assertions and figures, not control) --

@@ -226,6 +226,7 @@ impl BtAdaptive {
             if let Some(lambda) = self.lambda {
                 let state = classify(var, lambda);
                 classified = Some(state);
+                let w_before = self.w;
                 match state {
                     Stability::Transition => {
                         // Snap back: T_snd = T_spl and send immediately.
@@ -242,6 +243,10 @@ impl BtAdaptive {
                             self.stable_run = 0;
                         }
                     }
+                }
+                if self.w != w_before {
+                    bz_obs::counter_inc("wsn.btadpt.period_changes");
+                    bz_obs::observe("wsn.btadpt.send_period_s", self.send_period().as_secs_f64());
                 }
             }
         }

@@ -172,6 +172,7 @@ impl Network {
     /// `false` if the backoff budget was exhausted.
     pub fn send(&mut self, now: SimTime, message: Message) -> bool {
         self.stats.offered += 1;
+        bz_obs::counter_inc("wsn.packets.sent");
         let airtime = self.config.airtime(message.payload_bytes());
 
         // CSMA: find a start instant at which the channel is clear, with
@@ -182,6 +183,7 @@ impl Network {
             if self.busy_at(candidate) {
                 if attempt >= self.config.max_backoffs {
                     self.stats.busy_drops += 1;
+                    bz_obs::counter_inc("wsn.packets.dropped_busy");
                     self.failures.push((message, TxFailure::ChannelBusy));
                     return false;
                 }
@@ -199,6 +201,7 @@ impl Network {
                 candidate = horizon + SimDuration::from_millis(slots * self.config.backoff_unit_ms);
                 attempt += 1;
                 self.stats.backoffs += 1;
+                bz_obs::counter_inc("wsn.backoffs");
             } else {
                 break;
             }
@@ -246,13 +249,17 @@ impl Network {
         for f in done {
             if f.corrupted {
                 self.stats.collided += 1;
+                bz_obs::counter_inc("wsn.packets.collided");
                 self.failures.push((f.message, TxFailure::Collision));
             } else if f.faded {
                 self.stats.faded += 1;
+                bz_obs::counter_inc("wsn.packets.dropped_fading");
                 self.failures.push((f.message, TxFailure::Fading));
             } else {
                 let delay = f.end.since(f.requested);
                 self.stats.delivered += 1;
+                bz_obs::counter_inc("wsn.packets.delivered");
+                bz_obs::observe("wsn.delivery_delay_ms", delay.as_millis() as f64);
                 self.stats.total_delay_ms += delay.as_millis();
                 self.stats.max_delay_ms = self.stats.max_delay_ms.max(delay.as_millis());
                 deliveries.push(Delivery {

@@ -19,7 +19,10 @@
 //!   transmission, histogram-based λ clustering, energy accounting;
 //! - [`core`] — the paper's contribution: the two control modules, the
 //!   closed-loop system, the AirCon baseline, COP metrics, and the
-//!   experiment scenarios behind every figure.
+//!   experiment scenarios behind every figure;
+//! - [`obs`] — the observability layer: sim-clock spans, a metrics
+//!   registry, and deterministic JSONL/CSV exporters (see
+//!   `docs/OBSERVABILITY.md`).
 //!
 //! # Quickstart
 //!
@@ -33,6 +36,45 @@
 //! assert!(outcome.panel_condensate_kg < 1e-6, "no condensation allowed");
 //! ```
 //!
+//! # A minimal closed loop
+//!
+//! Everything advances on the deterministic millisecond clock: the plant
+//! steps once per second under actuator commands, battery motes sample
+//! and push typed broadcasts through the contention-faithful CSMA/CA
+//! channel, and the controllers consume only what arrives over the
+//! simulated air:
+//!
+//! ```
+//! use bubblezero::core::system::{BubbleZeroSystem, SystemConfig};
+//! use bubblezero::thermal::plant::PlantConfig;
+//!
+//! let config = SystemConfig::paper_deployment(PlantConfig::bubble_zero_lab());
+//! let mut system = BubbleZeroSystem::new(config.clone());
+//! system.run_seconds(30);
+//!
+//! // Within 30 simulated seconds the radiant controller has computed a
+//! // ceiling dew point purely from wireless sensor deliveries…
+//! let decision = system.last_radiant_decisions()[0].expect("controller ran");
+//! assert!(decision.ceiling_dew.is_some(), "over-the-air data arrived");
+//!
+//! // …and determinism is total: a run is a pure function of its seeds.
+//! let mut twin = BubbleZeroSystem::new(config);
+//! twin.run_seconds(30);
+//! assert_eq!(system.network().stats(), twin.network().stats());
+//! ```
+//!
+//! # The paper's Magnus dew point
+//!
+//! The dew-point computation every controller leans on is the paper's
+//! Magnus formula (§III-B), exposed directly:
+//!
+//! ```
+//! use bubblezero::psychro::{dew_point, Celsius, Percent};
+//!
+//! let dew = dew_point(Celsius::new(25.0), Percent::new(60.0));
+//! assert!((dew.get() - 16.7).abs() < 0.2, "dew {dew:?}");
+//! ```
+//!
 //! See `examples/` for runnable scenarios and `crates/bench/src/bin/` for
 //! the per-figure reproduction harnesses (`fig10` … `fig15`).
 
@@ -40,6 +82,7 @@
 #![warn(missing_docs)]
 
 pub use bz_core as core;
+pub use bz_obs as obs;
 pub use bz_psychro as psychro;
 pub use bz_simcore as simcore;
 pub use bz_thermal as thermal;

@@ -49,19 +49,18 @@ fn relay_batching_cuts_transmissions_and_airtime() {
     let mut aggregator = Aggregator::new(SimDuration::from_secs(2));
     let relay = NodeId::new(99);
     let mut relay_frames = 0u64;
-    let send_batch =
-        |network: &mut Network, frame: bubblezero::wsn::aggregate::AggregateFrame| {
-            // One physical frame carries the whole batch; model it as a
-            // single actuation-sized message on the channel.
-            let carrier = Message::on_channel(
-                relay,
-                DataType::Actuation,
-                frame.samples.len() as u16,
-                frame.payload_bytes as f64,
-                frame.flushed_at,
-            );
-            network.send(frame.flushed_at, carrier);
-        };
+    let send_batch = |network: &mut Network, frame: bubblezero::wsn::aggregate::AggregateFrame| {
+        // One physical frame carries the whole batch; model it as a
+        // single actuation-sized message on the channel.
+        let carrier = Message::on_channel(
+            relay,
+            DataType::Actuation,
+            frame.samples.len() as u16,
+            frame.payload_bytes as f64,
+            frame.flushed_at,
+        );
+        network.send(frame.flushed_at, carrier);
+    };
     for sample in sample_stream() {
         let now = sample.created_at();
         if let Some(frame) = aggregator.offer(sample) {

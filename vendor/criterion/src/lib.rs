@@ -1,0 +1,250 @@
+//! Offline stand-in for the subset of the `criterion` crate this workspace
+//! uses.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! reimplements the benchmark-harness surface the `bz-bench` benches need:
+//! [`Criterion::bench_function`], benchmark groups with
+//! `sample_size`/`bench_with_input`, [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Each benchmark is warmed up briefly, then
+//! timed over a fixed wall-clock budget, and the mean time per iteration is
+//! printed in a `name ... time: N ns/iter` line.
+//!
+//! It produces no HTML reports and does no statistical outlier analysis —
+//! it exists so `cargo bench` runs and prints comparable numbers offline.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Wall-clock budget spent measuring each benchmark after warm-up.
+const MEASURE_BUDGET: Duration = Duration::from_millis(300);
+/// Wall-clock budget spent warming each benchmark up.
+const WARMUP_BUDGET: Duration = Duration::from_millis(60);
+
+/// How `iter_batched` amortizes setup; the stub treats all variants alike.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Identifier for a parameterized benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter.
+    #[must_use]
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self(format!("{name}/{parameter}"))
+    }
+
+    /// An id from the parameter alone.
+    #[must_use]
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// The timing loop handed to each benchmark closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    /// Mean nanoseconds per iteration measured by the last `iter*` call.
+    mean_ns: f64,
+    /// Iterations actually executed during measurement.
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, called repeatedly, over the measurement budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let warm_until = Instant::now() + WARMUP_BUDGET;
+        while Instant::now() < warm_until {
+            black_box(routine());
+        }
+        let started = Instant::now();
+        let mut iterations: u64 = 0;
+        while started.elapsed() < MEASURE_BUDGET {
+            // Batch 16 calls per clock read so cheap routines are not
+            // dominated by `Instant::now` overhead.
+            for _ in 0..16 {
+                black_box(routine());
+            }
+            iterations += 16;
+        }
+        self.record(started.elapsed(), iterations);
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_until = Instant::now() + WARMUP_BUDGET;
+        while Instant::now() < warm_until {
+            black_box(routine(setup()));
+        }
+        let mut measured = Duration::ZERO;
+        let mut iterations: u64 = 0;
+        let budget_start = Instant::now();
+        while budget_start.elapsed() < MEASURE_BUDGET {
+            let input = setup();
+            let started = Instant::now();
+            black_box(routine(input));
+            measured += started.elapsed();
+            iterations += 1;
+        }
+        self.record(measured, iterations);
+    }
+
+    fn record(&mut self, elapsed: Duration, iterations: u64) {
+        self.iterations = iterations;
+        self.mean_ns = if iterations == 0 {
+            f64::NAN
+        } else {
+            elapsed.as_nanos() as f64 / iterations as f64
+        };
+    }
+}
+
+fn report(name: &str, bencher: &Bencher) {
+    let mean = bencher.mean_ns;
+    let human = if mean >= 1_000_000.0 {
+        format!("{:.3} ms", mean / 1_000_000.0)
+    } else if mean >= 1_000.0 {
+        format!("{:.3} µs", mean / 1_000.0)
+    } else {
+        format!("{mean:.1} ns")
+    };
+    println!(
+        "{name:<50} time: {human}/iter  ({} iterations)",
+        bencher.iterations
+    );
+}
+
+/// The benchmark driver; one per `criterion_group!` run.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _sample_size: usize,
+}
+
+impl Criterion {
+    /// Runs and reports one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        report(name, &bencher);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_owned(),
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub's budget is wall-clock
+    /// based, so the requested sample count is not used.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs and reports one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        report(&format!("{}/{name}", self.name), &bencher);
+        self
+    }
+
+    /// Runs and reports one parameterized benchmark within the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::default();
+        f(&mut bencher, input);
+        report(&format!("{}/{id}", self.name), &bencher);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Collects benchmark functions into one runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups (ignores harness CLI flags).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut bencher = Bencher::default();
+        bencher.iter(|| std::hint::black_box(3u64.pow(7)));
+        assert!(bencher.iterations > 0);
+        assert!(bencher.mean_ns.is_finite() && bencher.mean_ns >= 0.0);
+    }
+
+    #[test]
+    fn group_api_chains() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |bencher, n| {
+            bencher.iter(|| std::hint::black_box(*n * 2));
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}
