@@ -234,12 +234,12 @@ fn ablate_duration_sanity() {
 }
 
 fn main() {
-    let metrics = bz_bench::profiling_begin();
-    ablate_dew_margin();
-    ablate_control_period();
-    ablate_btadpt();
-    ablate_ac_stagger();
-    header("sanity");
-    ablate_duration_sanity();
-    bz_bench::profiling_finish(metrics);
+    bz_bench::harness(|| {
+        ablate_dew_margin();
+        ablate_control_period();
+        ablate_btadpt();
+        ablate_ac_stagger();
+        header("sanity");
+        ablate_duration_sanity();
+    });
 }

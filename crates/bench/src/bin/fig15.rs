@@ -19,98 +19,98 @@ use bz_wsn::energy::EnergyModel;
 use bz_wsn::message::DataType;
 
 fn main() {
-    let metrics = bz_bench::profiling_begin();
-    header("Fig. 15 — send-period CDF and battery lifetime");
-    println!("  running the 5-hour networking trial (adaptive)...");
-    let adaptive = NetworkTrial::paper_setup().run();
-    println!("  running the 5-hour networking trial (fixed)...");
-    let fixed = NetworkTrial::with_mode(BtMode::Fixed).run();
+    bz_bench::harness(|| {
+        header("Fig. 15 — send-period CDF and battery lifetime");
+        println!("  running the 5-hour networking trial (adaptive)...");
+        let adaptive = NetworkTrial::paper_setup().run();
+        println!("  running the 5-hour networking trial (fixed)...");
+        let fixed = NetworkTrial::with_mode(BtMode::Fixed).run();
 
-    let periods = adaptive.send_periods_s(DataType::Temperature);
-    let cdf = Cdf::from_samples(periods);
+        let periods = adaptive.send_periods_s(DataType::Temperature);
+        let cdf = Cdf::from_samples(periods);
 
-    header("BT-ADPT send-period CDF (temperature streams)");
-    println!("  {:>12} {:>10}", "period (s)", "CDF");
-    let path = output_dir().join("fig15.csv");
-    let mut file = File::create(&path).expect("create csv");
-    writeln!(file, "scheme,period_s,cdf").expect("write");
-    for p in [2.0, 4.0, 8.0, 16.0, 24.0, 32.0, 40.0, 48.0, 56.0, 64.0] {
-        println!("  {p:>12.0} {:>10.3}", cdf.at(p));
-        writeln!(file, "BT-ADPT,{p:.0},{:.6}", cdf.at(p)).expect("write");
-    }
-    writeln!(file, "Fixed,2,1.0").expect("write");
-    println!("  CDF written to {}", path.display());
+        header("BT-ADPT send-period CDF (temperature streams)");
+        println!("  {:>12} {:>10}", "period (s)", "CDF");
+        let path = output_dir().join("fig15.csv");
+        let mut file = File::create(&path).expect("create csv");
+        writeln!(file, "scheme,period_s,cdf").expect("write");
+        for p in [2.0, 4.0, 8.0, 16.0, 24.0, 32.0, 40.0, 48.0, 56.0, 64.0] {
+            println!("  {p:>12.0} {:>10.3}", cdf.at(p));
+            writeln!(file, "BT-ADPT,{p:.0},{:.6}", cdf.at(p)).expect("write");
+        }
+        writeln!(file, "Fixed,2,1.0").expect("write");
+        println!("  CDF written to {}", path.display());
 
-    header("Paper claims vs measured");
-    compare("min period (s)", "2", format!("{:.0}", cdf.min()));
-    compare("max period (s)", "64", format!("{:.0}", cdf.max()));
-    compare("mean period (s)", "~48", format!("{:.1}", cdf.mean()));
+        header("Paper claims vs measured");
+        compare("min period (s)", "2", format!("{:.0}", cdf.min()));
+        compare("max period (s)", "64", format!("{:.0}", cdf.max()));
+        compare("mean period (s)", "~48", format!("{:.1}", cdf.mean()));
 
-    // Lifetime projections. The paper's 3.2 y / 0.7 y figures account for
-    // one data stream per device; our ceiling/room motes carry two (a
-    // temperature and a humidity packet stream), so the measured
-    // multi-stream device lifetimes are reported separately.
-    let model = EnergyModel::telosb_2aa();
-    compare(
-        "BT-ADPT lifetime, single stream at measured mean period (years)",
-        "3.2",
-        format!(
-            "{:.2}",
-            model.lifetime_years(
-                SimDuration::from_secs(2),
-                SimDuration::from_secs_f64(cdf.mean()),
-            )
-        ),
-    );
-    compare(
-        "Fixed lifetime, single stream at 2 s (years)",
-        "0.7",
-        format!(
-            "{:.2}",
-            model.lifetime_years(SimDuration::from_secs(2), SimDuration::from_secs(2))
-        ),
-    );
-    let mean_adaptive = mean_lifetime(&adaptive.reports);
-    let mean_fixed = mean_lifetime(&fixed.reports);
-    row(
-        "measured mean device lifetime, BT-ADPT (2 streams/mote, years)",
-        format!("{mean_adaptive:.2}"),
-    );
-    row(
-        "measured mean device lifetime, Fixed (2 streams/mote, years)",
-        format!("{mean_fixed:.2}"),
-    );
-    compare(
-        "lifetime ratio BT-ADPT / Fixed",
-        format!("{:.1}", 3.2 / 0.7),
-        format!("{:.1}", mean_adaptive / mean_fixed),
-    );
+        // Lifetime projections. The paper's 3.2 y / 0.7 y figures account for
+        // one data stream per device; our ceiling/room motes carry two (a
+        // temperature and a humidity packet stream), so the measured
+        // multi-stream device lifetimes are reported separately.
+        let model = EnergyModel::telosb_2aa();
+        compare(
+            "BT-ADPT lifetime, single stream at measured mean period (years)",
+            "3.2",
+            format!(
+                "{:.2}",
+                model.lifetime_years(
+                    SimDuration::from_secs(2),
+                    SimDuration::from_secs_f64(cdf.mean()),
+                )
+            ),
+        );
+        compare(
+            "Fixed lifetime, single stream at 2 s (years)",
+            "0.7",
+            format!(
+                "{:.2}",
+                model.lifetime_years(SimDuration::from_secs(2), SimDuration::from_secs(2))
+            ),
+        );
+        let mean_adaptive = mean_lifetime(&adaptive.reports);
+        let mean_fixed = mean_lifetime(&fixed.reports);
+        row(
+            "measured mean device lifetime, BT-ADPT (2 streams/mote, years)",
+            format!("{mean_adaptive:.2}"),
+        );
+        row(
+            "measured mean device lifetime, Fixed (2 streams/mote, years)",
+            format!("{mean_fixed:.2}"),
+        );
+        compare(
+            "lifetime ratio BT-ADPT / Fixed",
+            format!("{:.1}", 3.2 / 0.7),
+            format!("{:.1}", mean_adaptive / mean_fixed),
+        );
 
-    header("channel health during the trials");
-    row(
-        "adaptive delivery ratio",
-        format!("{:.4}", adaptive.channel.delivery_ratio()),
-    );
-    row(
-        "fixed delivery ratio",
-        format!("{:.4}", fixed.channel.delivery_ratio()),
-    );
-    row(
-        "adaptive mean MAC delay (ms)",
-        format!("{:.1}", adaptive.channel.mean_delay_ms()),
-    );
-    let tx_adaptive: u64 = adaptive.reports.iter().map(|r| r.transmissions).sum();
-    let tx_fixed: u64 = fixed.reports.iter().map(|r| r.transmissions).sum();
-    row("adaptive packets", tx_adaptive);
-    row("fixed packets", tx_fixed);
-    row(
-        "traffic reduction",
-        format!(
-            "{:.1}%",
-            100.0 * (1.0 - tx_adaptive as f64 / tx_fixed as f64)
-        ),
-    );
-    bz_bench::profiling_finish(metrics);
+        header("channel health during the trials");
+        row(
+            "adaptive delivery ratio",
+            format!("{:.4}", adaptive.channel.delivery_ratio()),
+        );
+        row(
+            "fixed delivery ratio",
+            format!("{:.4}", fixed.channel.delivery_ratio()),
+        );
+        row(
+            "adaptive mean MAC delay (ms)",
+            format!("{:.1}", adaptive.channel.mean_delay_ms()),
+        );
+        let tx_adaptive: u64 = adaptive.reports.iter().map(|r| r.transmissions).sum();
+        let tx_fixed: u64 = fixed.reports.iter().map(|r| r.transmissions).sum();
+        row("adaptive packets", tx_adaptive);
+        row("fixed packets", tx_fixed);
+        row(
+            "traffic reduction",
+            format!(
+                "{:.1}%",
+                100.0 * (1.0 - tx_adaptive as f64 / tx_fixed as f64)
+            ),
+        );
+    });
 }
 
 fn mean_lifetime(reports: &[bz_core::system::BtDeviceReport]) -> f64 {

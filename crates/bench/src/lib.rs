@@ -7,6 +7,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod sweep;
+
 use std::fs;
 use std::path::PathBuf;
 
@@ -51,6 +53,15 @@ pub fn profiling_begin() -> Option<PathBuf> {
     bz_obs::enable();
     bz_obs::reset();
     Some(path)
+}
+
+/// Runs a fig/ablation harness body under the standard profiling hooks:
+/// [`profiling_begin`] before, [`profiling_finish`] after. Every
+/// `bz-bench` binary `main` is one call to this.
+pub fn harness(body: impl FnOnce()) {
+    let metrics = profiling_begin();
+    body();
+    profiling_finish(metrics);
 }
 
 /// Counterpart of [`profiling_begin`]: writes the collected metrics

@@ -1,0 +1,541 @@
+//! Work-stealing parallel batch runner for scenario sweeps.
+//!
+//! A sweep is a grid of independent closed-loop runs — seed sweeps,
+//! parameter grids, ablation matrices — executed across a thread pool and
+//! merged into one report. Every run records into its own isolated
+//! [`bz_obs::Handle`], so concurrent runs share no mutable metric state
+//! and each run's metrics export is **byte-identical** regardless of how
+//! many worker threads execute the sweep or in which order jobs finish.
+//!
+//! The merge step is permutation-invariant: results are keyed by run
+//! index, and every report function sorts by index before rendering, so
+//! job completion order cannot leak into the output.
+//!
+//! ```
+//! use bz_bench::sweep::{Scenario, SweepSpec};
+//!
+//! let spec = SweepSpec {
+//!     scenario: Scenario::Trial,
+//!     seeds: vec![1, 2],
+//!     minutes: 1,
+//!     grid: bz_bench::sweep::parse_grid("dew-margin-k=0.0,0.5").unwrap(),
+//! };
+//! assert_eq!(spec.expand().len(), 4); // 2 seeds × 2 grid points
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use bz_core::system::{BtMode, BubbleZeroSystem, SystemConfig};
+use bz_simcore::{Rng, SimDuration};
+use bz_thermal::disturbance::DisturbanceSchedule;
+use bz_thermal::plant::PlantConfig;
+use bz_thermal::zone::SubspaceId;
+
+/// The closed-loop scenario a sweep runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// The §V-A afternoon trial (figure-10 disturbances).
+    Trial,
+    /// The §V-C networking trial deployment (steady plant, full WSN).
+    Network,
+    /// The endurance scenario: periodic disturbance events seeded from
+    /// the run seed.
+    Endurance,
+}
+
+impl Scenario {
+    /// Parses a scenario name as used by `bzctl sweep --scenario`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the valid scenarios.
+    pub fn parse(name: &str) -> Result<Self, String> {
+        match name {
+            "trial" => Ok(Self::Trial),
+            "network" => Ok(Self::Network),
+            "endurance" => Ok(Self::Endurance),
+            other => Err(format!(
+                "unknown scenario '{other}' (expected trial, network, or endurance)"
+            )),
+        }
+    }
+
+    /// The scenario's name (inverse of [`Scenario::parse`]).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Trial => "trial",
+            Self::Network => "network",
+            Self::Endurance => "endurance",
+        }
+    }
+}
+
+/// The grid-parameter keys a sweep can vary, with their config targets.
+pub const GRID_KEYS: &[&str] = &[
+    "dew-margin-k",
+    "control-period-s",
+    "residual-loss",
+    "bt-fixed",
+];
+
+/// One point of a parameter grid: `(key, value)` pairs in spec order.
+pub type GridPoint = Vec<(String, String)>;
+
+/// Parses a grid spec of the form `key=v1,v2;key2=v3,v4` into the
+/// cartesian product of all axes. An empty spec yields the single empty
+/// grid point (a pure seed sweep).
+///
+/// # Errors
+///
+/// Rejects unknown keys (see [`GRID_KEYS`]), malformed axes, and axes
+/// without values.
+pub fn parse_grid(spec: &str) -> Result<Vec<GridPoint>, String> {
+    let mut axes: Vec<(String, Vec<String>)> = Vec::new();
+    for axis in spec.split(';').filter(|a| !a.trim().is_empty()) {
+        let (key, values) = axis
+            .split_once('=')
+            .ok_or_else(|| format!("grid axis '{axis}' is not of the form key=v1,v2"))?;
+        let key = key.trim();
+        if !GRID_KEYS.contains(&key) {
+            return Err(format!(
+                "unknown grid key '{key}' (expected one of {})",
+                GRID_KEYS.join(", ")
+            ));
+        }
+        let values: Vec<String> = values
+            .split(',')
+            .map(|v| v.trim().to_owned())
+            .filter(|v| !v.is_empty())
+            .collect();
+        if values.is_empty() {
+            return Err(format!("grid axis '{key}' has no values"));
+        }
+        axes.push((key.to_owned(), values));
+    }
+    let mut points: Vec<GridPoint> = vec![Vec::new()];
+    for (key, values) in axes {
+        let mut expanded = Vec::with_capacity(points.len() * values.len());
+        for point in &points {
+            for value in &values {
+                let mut next = point.clone();
+                next.push((key.clone(), value.clone()));
+                expanded.push(next);
+            }
+        }
+        points = expanded;
+    }
+    Ok(points)
+}
+
+/// A full sweep description: scenario × seeds × grid points.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// The scenario every run executes.
+    pub scenario: Scenario,
+    /// One run per seed per grid point.
+    pub seeds: Vec<u64>,
+    /// Simulated minutes per run.
+    pub minutes: u64,
+    /// Parameter grid (from [`parse_grid`]); `vec![vec![]]` for a pure
+    /// seed sweep.
+    pub grid: Vec<GridPoint>,
+}
+
+impl SweepSpec {
+    /// Expands the sweep into its run list, indexed 0..N in grid-major,
+    /// seed-minor order.
+    #[must_use]
+    pub fn expand(&self) -> Vec<RunSpec> {
+        let mut runs = Vec::with_capacity(self.grid.len() * self.seeds.len());
+        for point in &self.grid {
+            for &seed in &self.seeds {
+                runs.push(RunSpec {
+                    index: runs.len(),
+                    scenario: self.scenario,
+                    seed,
+                    minutes: self.minutes,
+                    params: point.clone(),
+                });
+            }
+        }
+        runs
+    }
+}
+
+/// One independent run of a sweep.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// Stable position in the sweep (keys the merged report).
+    pub index: usize,
+    /// The scenario to execute.
+    pub scenario: Scenario,
+    /// System seed for the run.
+    pub seed: u64,
+    /// Simulated minutes to run.
+    pub minutes: u64,
+    /// Grid-point overrides applied to the system config.
+    pub params: GridPoint,
+}
+
+impl RunSpec {
+    /// A deterministic human-readable label, e.g.
+    /// `trial-s0001-dew-margin-k=0.5`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        let mut label = format!("{}-s{:04}", self.scenario.name(), self.seed);
+        for (key, value) in &self.params {
+            let _ = write!(label, "-{key}={value}");
+        }
+        label
+    }
+}
+
+/// End-of-run scalars carried into the merged report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunSummary {
+    /// Final S1 zone temperature, °C.
+    pub t_end_c: f64,
+    /// Final S1 dew point, °C.
+    pub dew_end_c: f64,
+    /// Total panel condensate, kg.
+    pub condensate_kg: f64,
+    /// Packet delivery ratio, percent.
+    pub delivery_pct: f64,
+    /// Packets offered to the channel.
+    pub packets_sent: u64,
+}
+
+/// The outcome of one run: its summary plus the full per-run metrics
+/// export (JSONL bytes, deterministic for a given spec).
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Index of the [`RunSpec`] this result came from.
+    pub index: usize,
+    /// The spec's label.
+    pub label: String,
+    /// The seed the run used.
+    pub seed: u64,
+    /// Scenario name.
+    pub scenario: &'static str,
+    /// `key=value` parameter overrides, `;`-joined spec order.
+    pub params: String,
+    /// End-of-run scalars.
+    pub summary: RunSummary,
+    /// The run's isolated bz-obs registry exported as JSONL.
+    pub metrics_jsonl: Vec<u8>,
+}
+
+fn apply_params(config: &mut SystemConfig, params: &GridPoint) -> Result<(), String> {
+    for (key, value) in params {
+        let parse_f64 = || -> Result<f64, String> {
+            value
+                .parse()
+                .map_err(|_| format!("grid value '{value}' for '{key}' is not a number"))
+        };
+        match key.as_str() {
+            "dew-margin-k" => config.radiant.dew_margin_k = parse_f64()?,
+            "control-period-s" => {
+                let secs: u64 = value
+                    .parse()
+                    .map_err(|_| format!("grid value '{value}' for '{key}' is not an integer"))?;
+                if secs == 0 {
+                    return Err("control-period-s must be positive".to_owned());
+                }
+                config.control_period = SimDuration::from_secs(secs);
+            }
+            "residual-loss" => config.network.residual_loss = parse_f64()?,
+            "bt-fixed" => {
+                config.bt_mode = match value.as_str() {
+                    "true" | "1" => BtMode::Fixed,
+                    "false" | "0" => BtMode::Adaptive,
+                    other => {
+                        return Err(format!(
+                            "grid value '{other}' for 'bt-fixed' is not a boolean"
+                        ))
+                    }
+                };
+            }
+            other => return Err(format!("unknown grid key '{other}'")),
+        }
+    }
+    Ok(())
+}
+
+fn build_system(spec: &RunSpec, obs: bz_obs::Handle) -> Result<BubbleZeroSystem, String> {
+    let plant_seed = spec.seed ^ 0x9E37;
+    let plant = match spec.scenario {
+        Scenario::Trial => PlantConfig::bubble_zero_lab()
+            .with_seed(plant_seed)
+            .with_disturbances(DisturbanceSchedule::figure10_afternoon()),
+        Scenario::Network => PlantConfig::bubble_zero_lab().with_seed(plant_seed),
+        Scenario::Endurance => {
+            let mut rng = Rng::seed_from(spec.seed ^ 0x7DA7);
+            PlantConfig::bubble_zero_lab()
+                .with_seed(plant_seed)
+                .with_disturbances(DisturbanceSchedule::periodic_events(
+                    SimDuration::from_mins(spec.minutes),
+                    &mut rng,
+                ))
+        }
+    };
+    let mut config = SystemConfig {
+        seed: spec.seed,
+        ..SystemConfig::paper_deployment(plant)
+    };
+    apply_params(&mut config, &spec.params)?;
+    Ok(BubbleZeroSystem::with_obs(config, obs))
+}
+
+/// Executes one run against a fresh isolated registry.
+///
+/// # Errors
+///
+/// Returns a message for invalid grid parameters.
+pub fn run_one(spec: &RunSpec) -> Result<RunResult, String> {
+    let obs = bz_obs::Handle::isolated();
+    let mut system = build_system(spec, obs.clone())?;
+    for _ in 0..spec.minutes {
+        system.run_seconds(60);
+        obs.record_counters(system.now().as_millis());
+    }
+    obs.disable();
+    let mut metrics_jsonl = Vec::new();
+    obs.write_jsonl(&mut metrics_jsonl)
+        .map_err(|e| format!("metrics export failed: {e}"))?;
+    let plant = system.plant();
+    let stats = system.network().stats();
+    let summary = RunSummary {
+        t_end_c: plant.zone_temperature(SubspaceId::S1).get(),
+        dew_end_c: plant.zone_dew_point(SubspaceId::S1).get(),
+        condensate_kg: plant.panel_condensate_total(),
+        delivery_pct: 100.0 * stats.delivery_ratio(),
+        packets_sent: stats.offered,
+    };
+    Ok(RunResult {
+        index: spec.index,
+        label: spec.label(),
+        seed: spec.seed,
+        scenario: spec.scenario.name(),
+        params: spec
+            .params
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join(";"),
+        summary,
+        metrics_jsonl,
+    })
+}
+
+/// Executes every run across `jobs` worker threads, work-stealing from a
+/// shared queue. Results come back indexed by [`RunSpec::index`] — the
+/// output is independent of scheduling because each run records into its
+/// own isolated registry and results are placed by index, not by
+/// completion order.
+#[must_use]
+pub fn execute(specs: &[RunSpec], jobs: usize) -> Vec<Result<RunResult, String>> {
+    let jobs = jobs.clamp(1, specs.len().max(1));
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<Result<RunResult, String>>>> =
+        Mutex::new(specs.iter().map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= specs.len() {
+                    break;
+                }
+                let result = run_one(&specs[i]);
+                slots.lock().expect("result slots poisoned")[i] = Some(result);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("result slots poisoned")
+        .into_iter()
+        .map(|slot| slot.expect("every job completed"))
+        .collect()
+}
+
+/// Results sorted by run index (the permutation-invariance point: every
+/// report renders from this order, never from completion order).
+fn ordered(results: &[RunResult]) -> Vec<&RunResult> {
+    let mut ordered: Vec<&RunResult> = results.iter().collect();
+    ordered.sort_by_key(|r| r.index);
+    ordered
+}
+
+/// Renders the merged sweep report as CSV (one row per run, sorted by
+/// run index).
+#[must_use]
+pub fn report_csv(results: &[RunResult]) -> String {
+    let mut out = String::from(
+        "run,label,scenario,seed,params,t_end_c,dew_end_c,condensate_kg,delivery_pct,packets_sent\n",
+    );
+    for r in ordered(results) {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{:.6},{:.6},{:.9},{:.3},{}",
+            r.index,
+            r.label,
+            r.scenario,
+            r.seed,
+            r.params,
+            r.summary.t_end_c,
+            r.summary.dew_end_c,
+            r.summary.condensate_kg,
+            r.summary.delivery_pct,
+            r.summary.packets_sent,
+        );
+    }
+    out
+}
+
+/// Renders the merged sweep report as JSONL (one object per run, sorted
+/// by run index).
+#[must_use]
+pub fn report_jsonl(results: &[RunResult]) -> String {
+    let mut out = String::new();
+    for r in ordered(results) {
+        let _ = writeln!(
+            out,
+            "{{\"run\":{},\"label\":\"{}\",\"scenario\":\"{}\",\"seed\":{},\"params\":\"{}\",\
+             \"t_end_c\":{:.6},\"dew_end_c\":{:.6},\"condensate_kg\":{:.9},\
+             \"delivery_pct\":{:.3},\"packets_sent\":{}}}",
+            r.index,
+            r.label,
+            r.scenario,
+            r.seed,
+            r.params,
+            r.summary.t_end_c,
+            r.summary.dew_end_c,
+            r.summary.condensate_kg,
+            r.summary.delivery_pct,
+            r.summary.packets_sent,
+        );
+    }
+    out
+}
+
+/// Renders the human-readable sweep summary table, sorted by run index,
+/// with per-scenario means at the bottom.
+#[must_use]
+pub fn summary_table(results: &[RunResult]) -> String {
+    let mut out = format!(
+        "{:>4}  {:<44} {:>9} {:>9} {:>10} {:>8}\n",
+        "run", "label", "T end °C", "dew °C", "delivery%", "packets"
+    );
+    let mut by_scenario: BTreeMap<&str, (f64, usize)> = BTreeMap::new();
+    for r in ordered(results) {
+        let _ = writeln!(
+            out,
+            "{:>4}  {:<44} {:>9.2} {:>9.2} {:>10.1} {:>8}",
+            r.index,
+            r.label,
+            r.summary.t_end_c,
+            r.summary.dew_end_c,
+            r.summary.delivery_pct,
+            r.summary.packets_sent,
+        );
+        let entry = by_scenario.entry(r.scenario).or_insert((0.0, 0));
+        entry.0 += r.summary.delivery_pct;
+        entry.1 += 1;
+    }
+    for (scenario, (delivery_sum, count)) in by_scenario {
+        let _ = writeln!(
+            out,
+            "mean delivery over {count} {scenario} run(s): {:.1}%",
+            delivery_sum / count as f64
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_expands_to_cartesian_product() {
+        let grid = parse_grid("dew-margin-k=0.0,0.5;bt-fixed=true,false").unwrap();
+        assert_eq!(grid.len(), 4);
+        assert_eq!(
+            grid[0],
+            vec![
+                ("dew-margin-k".to_owned(), "0.0".to_owned()),
+                ("bt-fixed".to_owned(), "true".to_owned()),
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_grid_is_one_point() {
+        assert_eq!(parse_grid("").unwrap(), vec![Vec::new()]);
+    }
+
+    #[test]
+    fn grid_rejects_unknown_keys_and_malformed_axes() {
+        assert!(parse_grid("frobnicate=1").is_err());
+        assert!(parse_grid("dew-margin-k").is_err());
+        assert!(parse_grid("dew-margin-k=").is_err());
+    }
+
+    #[test]
+    fn expansion_is_grid_major_seed_minor() {
+        let spec = SweepSpec {
+            scenario: Scenario::Trial,
+            seeds: vec![7, 8],
+            minutes: 1,
+            grid: parse_grid("bt-fixed=true,false").unwrap(),
+        };
+        let runs = spec.expand();
+        assert_eq!(runs.len(), 4);
+        assert_eq!(runs[0].label(), "trial-s0007-bt-fixed=true");
+        assert_eq!(runs[3].label(), "trial-s0008-bt-fixed=false");
+        assert_eq!(
+            runs.iter().map(|r| r.index).collect::<Vec<_>>(),
+            [0, 1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn bad_grid_values_error_at_run_time() {
+        let spec = RunSpec {
+            index: 0,
+            scenario: Scenario::Trial,
+            seed: 1,
+            minutes: 1,
+            params: vec![("bt-fixed".to_owned(), "maybe".to_owned())],
+        };
+        assert!(run_one(&spec).is_err());
+    }
+
+    #[test]
+    fn reports_are_sorted_by_index_not_input_order() {
+        let make = |index: usize| RunResult {
+            index,
+            label: format!("run-{index}"),
+            seed: index as u64,
+            scenario: "trial",
+            params: String::new(),
+            summary: RunSummary {
+                t_end_c: 25.0,
+                dew_end_c: 17.0,
+                condensate_kg: 0.0,
+                delivery_pct: 99.0,
+                packets_sent: 10,
+            },
+            metrics_jsonl: Vec::new(),
+        };
+        let shuffled = vec![make(2), make(0), make(1)];
+        let sorted = vec![make(0), make(1), make(2)];
+        assert_eq!(report_csv(&shuffled), report_csv(&sorted));
+        assert_eq!(report_jsonl(&shuffled), report_jsonl(&sorted));
+        assert_eq!(summary_table(&shuffled), summary_table(&sorted));
+    }
+}

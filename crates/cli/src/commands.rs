@@ -15,6 +15,8 @@ use bz_thermal::zone::SubspaceId;
 use bz_wsn::message::{DataType, NodeId};
 use bz_wsn::multihop::MultihopNetwork;
 
+use bz_bench::sweep;
+
 use crate::args::{ArgError, Args};
 
 /// Top-level usage text.
@@ -30,6 +32,7 @@ COMMANDS:
                  --metrics-out PATH
     cop        steady-state COP comparison vs the AirCon baseline
                  --settle-mins N (40)  --meter-mins N (20)
+                 --metrics-out PATH
     network    run the wireless networking trial
                  --minutes N (300)  --fixed  --metrics-out PATH
     comfort    PMV/PPD report for a room condition
@@ -37,15 +40,25 @@ COMMANDS:
     multihop   building-scale multicast planning
                  --wings N (3)  --range M (20)
     sniff      run with a sniffer attached and dump the capture
-                 --minutes N (10)  --csv PATH
+                 --minutes N (10)  --csv PATH  --metrics-out PATH
     endurance  long continuous run with periodic events
                  --days N (1)  --metrics-out PATH
+    sweep      parallel batch of independent scenario runs
+                 --scenario trial|network|endurance (trial)
+                 --runs N (4)  --seed-base S  --minutes N (5)
+                 --grid \"key=v1,v2;key2=v3\"  --jobs N (1)
+                 --out-dir DIR  --metrics-out PATH  --quiet
     help       print this text
 
 `--metrics-out PATH` enables the bz-obs telemetry layer for the run and
 writes the collected metrics to PATH — JSONL by default, CSV when PATH
 ends in `.csv` (see docs/OBSERVABILITY.md). The export is deterministic:
 two runs with the same seed produce byte-identical files.
+
+`sweep` executes every run against an isolated metrics registry on a
+work-stealing thread pool; `--out-dir` writes one `run-NNN.jsonl` per
+run and `--metrics-out` writes the merged report. Per-run files are
+byte-identical for any `--jobs` value.
 ";
 
 /// Runs a subcommand; returns the text to print or a usage error.
@@ -64,6 +77,7 @@ pub fn run(command: &str, raw: Vec<String>) -> Result<String, ArgError> {
         "multihop" => multihop(&args),
         "sniff" => sniff(&args),
         "endurance" => endurance(&args),
+        "sweep" => sweep(&args),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
         other => Err(ArgError::new(format!(
             "unknown command '{other}'\n\n{USAGE}"
@@ -186,16 +200,19 @@ fn trial(args: &Args) -> Result<String, ArgError> {
 }
 
 fn cop(args: &Args) -> Result<String, ArgError> {
-    args.expect_only(&["settle-mins", "meter-mins"])?;
+    args.expect_only(&["settle-mins", "meter-mins", "metrics-out"])?;
     let settle: u64 = args.get_or("settle-mins", 40)?;
     let meter: u64 = args.get_or("meter-mins", 20)?;
+    let metrics = metrics_begin(args)?;
 
     let mut system = BubbleZeroSystem::new(SystemConfig::paper_deployment(
         PlantConfig::bubble_zero_lab(),
     ));
     system.run_seconds(settle * 60);
     system.plant_mut_reset_meters();
+    bz_obs::record_counters(system.now().as_millis());
     system.run_seconds(meter * 60);
+    bz_obs::record_counters(system.now().as_millis());
     let summary = CopSummary::from_meters(system.plant().meters());
 
     let mut aircon = AirConSystem::new(AirConConfig::for_bubble_zero_lab());
@@ -204,7 +221,7 @@ fn cop(args: &Args) -> Result<String, ArgError> {
     aircon.run_seconds(meter * 60);
     let aircon_cop = aircon.measured_cop().unwrap_or(f64::NAN);
 
-    Ok(format!(
+    let mut out = format!(
         "COP over a {meter}-minute window after {settle} minutes of settling:\n\
          \n\
          AirCon (all-air baseline)   {aircon_cop:>6.2}\n\
@@ -216,7 +233,11 @@ fn cop(args: &Args) -> Result<String, ArgError> {
         summary.cop_ventilation(),
         summary.cop_overall(),
         100.0 * summary.improvement_over(aircon_cop),
-    ))
+    );
+    if let Some(path) = metrics {
+        metrics_finish(&path, &mut out)?;
+    }
+    Ok(out)
 }
 
 fn network(args: &Args) -> Result<String, ArgError> {
@@ -344,14 +365,18 @@ fn multihop(args: &Args) -> Result<String, ArgError> {
 }
 
 fn sniff(args: &Args) -> Result<String, ArgError> {
-    args.expect_only(&["minutes", "csv"])?;
+    args.expect_only(&["minutes", "csv", "metrics-out"])?;
     let minutes: u64 = args.get_or("minutes", 10)?;
+    let metrics = metrics_begin(args)?;
     let config = SystemConfig {
         enable_sniffer: true,
         ..SystemConfig::paper_deployment(PlantConfig::bubble_zero_lab())
     };
     let mut system = BubbleZeroSystem::new(config);
-    system.run_seconds(minutes * 60);
+    for _ in 0..minutes {
+        system.run_seconds(60);
+        bz_obs::record_counters(system.now().as_millis());
+    }
     let sniffer = system.sniffer().expect("sniffer enabled");
 
     let mut out = format!(
@@ -388,6 +413,9 @@ traffic by type:
             "capture written to {path}
 "
         );
+    }
+    if let Some(path) = metrics {
+        metrics_finish(&path, &mut out)?;
     }
     Ok(out)
 }
@@ -427,6 +455,100 @@ after {days} day(s): delivery {:.1}%, mean projected device lifetime {mean_life:
     );
     if let Some(path) = metrics {
         metrics_finish(&path, &mut out)?;
+    }
+    Ok(out)
+}
+
+/// Parallel batch of independent scenario runs with per-run metric
+/// isolation. `--out-dir` writes one `run-NNN.jsonl` metrics file per
+/// run; `--metrics-out` writes the merged report (CSV when the path ends
+/// in `.csv`, JSONL otherwise). Because every run records into its own
+/// isolated registry and the merge is keyed by run index, the outputs
+/// are byte-identical for any `--jobs` value.
+fn sweep(args: &Args) -> Result<String, ArgError> {
+    args.expect_only(&[
+        "scenario",
+        "runs",
+        "seed-base",
+        "minutes",
+        "grid",
+        "jobs",
+        "out-dir",
+        "metrics-out",
+        "quiet",
+    ])?;
+    let scenario =
+        sweep::Scenario::parse(args.get("scenario").unwrap_or("trial")).map_err(ArgError::new)?;
+    let runs: u64 = args.get_or("runs", 4)?;
+    if runs == 0 {
+        return Err(ArgError::new("--runs must be positive"));
+    }
+    let seed_base: u64 = args.get_or("seed-base", 0x5EED_0001)?;
+    let minutes: u64 = args.get_or("minutes", 5)?;
+    if minutes == 0 {
+        return Err(ArgError::new("--minutes must be positive"));
+    }
+    let jobs: usize = args.get_or("jobs", 1)?;
+    if jobs == 0 {
+        return Err(ArgError::new("--jobs must be positive"));
+    }
+    let quiet = args.flag("quiet");
+    let grid = sweep::parse_grid(args.get("grid").unwrap_or("")).map_err(ArgError::new)?;
+    let report_path = match args.get("metrics-out") {
+        Some(path) => Some(path.to_owned()),
+        None if args.flag("metrics-out") => {
+            return Err(ArgError::new("flag --metrics-out needs a value"))
+        }
+        None => None,
+    };
+    let out_dir = match args.get("out-dir") {
+        Some(dir) => Some(dir.to_owned()),
+        None if args.flag("out-dir") => return Err(ArgError::new("flag --out-dir needs a value")),
+        None => None,
+    };
+
+    let spec = sweep::SweepSpec {
+        scenario,
+        seeds: (0..runs).map(|i| seed_base + i).collect(),
+        minutes,
+        grid,
+    };
+    let run_specs = spec.expand();
+    let results: Vec<sweep::RunResult> = sweep::execute(&run_specs, jobs)
+        .into_iter()
+        .collect::<Result<_, _>>()
+        .map_err(ArgError::new)?;
+
+    let mut out = format!(
+        "sweep: {} run(s) of {} minute(s) each ({} scenario, {} job(s))\n",
+        results.len(),
+        minutes,
+        scenario.name(),
+        jobs,
+    );
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| ArgError::new(format!("cannot create {dir}: {e}")))?;
+        for result in &results {
+            let path = format!("{dir}/run-{:03}.jsonl", result.index);
+            std::fs::write(&path, &result.metrics_jsonl)
+                .map_err(|e| ArgError::new(format!("cannot write {path}: {e}")))?;
+        }
+        out += &format!("per-run metrics written to {dir}/run-NNN.jsonl\n");
+    }
+    if let Some(path) = &report_path {
+        let report = if path.ends_with(".csv") {
+            sweep::report_csv(&results)
+        } else {
+            sweep::report_jsonl(&results)
+        };
+        std::fs::write(path, report)
+            .map_err(|e| ArgError::new(format!("cannot write {path}: {e}")))?;
+        out += &format!("merged report written to {path}\n");
+    }
+    if !quiet {
+        out += "\n";
+        out += &sweep::summary_table(&results);
     }
     Ok(out)
 }
@@ -504,5 +626,44 @@ mod tests {
         let out = run_ok("network", &["--minutes", "2"]);
         assert!(out.contains("networking trial"));
         assert!(out.contains("delivery"));
+    }
+    #[test]
+    fn sweep_runs_a_small_grid() {
+        let out = run_ok(
+            "sweep",
+            &[
+                "--runs",
+                "2",
+                "--minutes",
+                "1",
+                "--grid",
+                "bt-fixed=true,false",
+                "--jobs",
+                "2",
+            ],
+        );
+        assert!(out.contains("sweep: 4 run(s)"));
+        assert!(out.contains("mean delivery"));
+    }
+
+    #[test]
+    fn sweep_rejects_bad_inputs() {
+        assert!(run("sweep", vec!["--runs".into(), "0".into()]).is_err());
+        assert!(run("sweep", vec!["--jobs".into(), "0".into()]).is_err());
+        assert!(run("sweep", vec!["--grid".into(), "frobnicate=1".into()]).is_err());
+        assert!(run("sweep", vec!["--scenario".into(), "nope".into()]).is_err());
+        assert!(run("sweep", vec!["--metrics-out".into()]).is_err());
+    }
+
+    #[test]
+    fn cop_metrics_out_requires_a_value() {
+        let err = run("cop", vec!["--metrics-out".into()]).unwrap_err();
+        assert!(err.to_string().contains("needs a value"));
+    }
+
+    #[test]
+    fn sniff_metrics_out_requires_a_value() {
+        let err = run("sniff", vec!["--metrics-out".into()]).unwrap_err();
+        assert!(err.to_string().contains("needs a value"));
     }
 }

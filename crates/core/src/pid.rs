@@ -66,17 +66,27 @@ pub struct Pid {
     config: PidConfig,
     integral: f64,
     last_error: Option<f64>,
+    obs: bz_obs::Handle,
 }
 
 impl Pid {
-    /// Creates a controller at rest.
+    /// Creates a controller at rest, counting saturation against the
+    /// global `bz_obs` registry.
     #[must_use]
     pub fn new(config: PidConfig) -> Self {
         Self {
             config,
             integral: 0.0,
             last_error: None,
+            obs: bz_obs::Handle::global(),
         }
+    }
+
+    /// Redirects this controller's metrics to `obs` (per-run isolation).
+    #[must_use]
+    pub fn with_obs(mut self, obs: bz_obs::Handle) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// The configuration in use.
@@ -113,7 +123,7 @@ impl Pid {
             + self.config.kd * derivative;
         let clamped = unclamped.clamp(self.config.output_min, self.config.output_max);
         if clamped != unclamped {
-            bz_obs::counter_inc("core.pid.saturation");
+            self.obs.counter_inc("core.pid.saturation");
         }
         if clamped != unclamped && self.config.ki > 0.0 {
             self.integral =

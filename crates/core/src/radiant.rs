@@ -110,10 +110,12 @@ pub struct RadiantController {
     /// integrator nudges the commanded blend until the *measured* T_mix
     /// matches the target (the paper's feedback on the mixing junction).
     mix_trim_k: f64,
+    obs: bz_obs::Handle,
 }
 
 impl RadiantController {
-    /// Creates a controller for one panel.
+    /// Creates a controller for one panel, recording against the global
+    /// `bz_obs` registry.
     #[must_use]
     pub fn new(config: RadiantConfig, targets: ComfortTargets, pump: Pump) -> Self {
         Self {
@@ -127,7 +129,17 @@ impl RadiantController {
             return_temp: None,
             mixed_temp: None,
             mix_trim_k: 0.0,
+            obs: bz_obs::Handle::global(),
         }
+    }
+
+    /// Redirects this controller's metrics (and its inner PID's) to `obs`
+    /// (per-run isolation).
+    #[must_use]
+    pub fn with_obs(mut self, obs: bz_obs::Handle) -> Self {
+        self.pid = self.pid.with_obs(obs.clone());
+        self.obs = obs;
+        self
     }
 
     /// The comfort targets in force.
@@ -259,7 +271,7 @@ impl RadiantController {
         if mix_target > supply {
             // The dew floor is binding: the mix setpoint was raised above
             // the tank supply to keep the panels above condensation.
-            bz_obs::counter_inc("core.radiant.condensation_guard");
+            self.obs.counter_inc("core.radiant.condensation_guard");
         }
 
         // ΔT = T_room − T_pref drives the flow PID.

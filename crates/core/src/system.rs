@@ -223,21 +223,34 @@ pub struct BubbleZeroSystem {
     outlet_cache: [(Option<Celsius>, Option<Percent>); 4],
     decision_log: Vec<DecisionRecord>,
     sniffer: Option<Sniffer>,
+    obs: bz_obs::Handle,
 }
 
 impl BubbleZeroSystem {
-    /// Builds the system at time zero.
+    /// Builds the system at time zero, recording metrics against the
+    /// global `bz_obs` registry.
     #[must_use]
     pub fn new(config: SystemConfig) -> Self {
+        Self::with_obs(config, bz_obs::Handle::global())
+    }
+
+    /// Builds the system at time zero with every component recording into
+    /// `obs`. Independent handles (see [`bz_obs::Handle::isolated`]) give
+    /// concurrent systems fully isolated metric state — the foundation of
+    /// the parallel sweep runner's determinism guarantee.
+    #[must_use]
+    pub fn with_obs(config: SystemConfig, obs: bz_obs::Handle) -> Self {
         let mut rng = Rng::seed_from(config.seed);
-        let plant = ThermalPlant::new(config.plant.clone());
-        let network = Network::new(config.network, rng.fork());
+        let plant = ThermalPlant::new(config.plant.clone()).with_obs(obs.clone());
+        let network = Network::new(config.network, rng.fork()).with_obs(obs.clone());
 
         let radiant = std::array::from_fn(|_| {
             RadiantController::new(config.radiant, config.targets, *plant.loop_pump())
+                .with_obs(obs.clone())
         });
-        let ventilation =
-            std::array::from_fn(|_| VentilationController::new(config.ventilation, config.targets));
+        let ventilation = std::array::from_fn(|_| {
+            VentilationController::new(config.ventilation, config.targets).with_obs(obs.clone())
+        });
 
         // Battery devices: 12 ceiling sensors (T+H streams), 4 room
         // sensors (T+H), 4 CO₂ sensors.
@@ -257,9 +270,10 @@ impl BubbleZeroSystem {
                     .map(|(_, p)| *p)
                     .unwrap_or_else(|| AdaptiveConfig::for_type(data_type).sampling_period);
                 let scheduler = match config.bt_mode {
-                    BtMode::Adaptive => StreamScheduler::Adaptive(Box::new(BtAdaptive::new(
-                        AdaptiveConfig::with_sampling(sampling),
-                    ))),
+                    BtMode::Adaptive => StreamScheduler::Adaptive(Box::new(
+                        BtAdaptive::new(AdaptiveConfig::with_sampling(sampling))
+                            .with_obs(obs.clone()),
+                    )),
                     BtMode::Fixed => StreamScheduler::Fixed(FixedSchedule::new(sampling)),
                 };
                 streams.push(BtStream {
@@ -364,7 +378,7 @@ impl BubbleZeroSystem {
         // Seed the event queue: one pending action per stream. From here
         // on, every device action flows through the queue in time order
         // (FIFO among same-millisecond ties).
-        let mut events = EventQueue::new();
+        let mut events = EventQueue::with_obs(obs.clone());
         for (i, stream) in bt_streams.iter().enumerate() {
             events.schedule(stream.next_sample, SystemEvent::BtSample(i));
         }
@@ -392,7 +406,14 @@ impl BubbleZeroSystem {
             outlet_cache: Default::default(),
             decision_log: Vec::new(),
             sniffer: config2_sniffer,
+            obs,
         }
+    }
+
+    /// The observability handle this system records into.
+    #[must_use]
+    pub fn obs(&self) -> &bz_obs::Handle {
+        &self.obs
     }
 
     /// Current simulation time.
@@ -566,7 +587,7 @@ impl BubbleZeroSystem {
 
     /// Advances the whole system by one second.
     pub fn step_second(&mut self) {
-        let step_span = bz_obs::span("core.step_second", self.now.as_millis());
+        let step_span = self.obs.span("core.step_second", self.now.as_millis());
         let next = self.now + SimDuration::from_secs(1);
 
         // --- Device events (battery sampling, AC broadcasts) ---------------
@@ -622,10 +643,10 @@ impl BubbleZeroSystem {
 
         // --- Control cycle ----------------------------------------------------
         if self.now >= self.next_control {
-            let tick_span = bz_obs::span("core.control_tick", self.now.as_millis());
+            let tick_span = self.obs.span("core.control_tick", self.now.as_millis());
             self.run_control_cycle();
             self.next_control = self.now + self.config.control_period;
-            bz_obs::gauge_set(
+            self.obs.gauge_set(
                 "simcore.event_queue.depth",
                 self.now.as_millis(),
                 self.events.len() as f64,

@@ -147,6 +147,14 @@ impl VentilationController {
         }
     }
 
+    /// Redirects the inner coil PID's metrics to `obs` (per-run
+    /// isolation).
+    #[must_use]
+    pub fn with_obs(mut self, obs: bz_obs::Handle) -> Self {
+        self.coil_pid = self.coil_pid.with_obs(obs);
+        self
+    }
+
     /// The comfort targets in force.
     #[must_use]
     pub fn targets(&self) -> &ComfortTargets {

@@ -4,24 +4,31 @@
 //! all keyed to the deterministic millisecond simulation clock rather than
 //! wall time:
 //!
-//! 1. **Spans** — [`span`] returns a guard; closing it with
+//! 1. **Spans** — [`Handle::span`] returns a guard; closing it with
 //!    [`SpanGuard::exit`] records both the simulated duration (exported,
 //!    deterministic) and the wall-clock duration (summary table only).
 //!    Spans nest; each records its depth at entry.
-//! 2. **Metrics registry** — saturating [counters](counter_add), last-value
-//!    [gauges](gauge_set), and fixed-bucket [histograms](observe) borrowing
-//!    the `bz-wsn` bucketing idiom.
-//! 3. **Exporters** — [`write_jsonl`] / [`write_csv`] for machines plus a
-//!    human [`summary_table`]; formats are documented in
-//!    `docs/OBSERVABILITY.md`.
+//! 2. **Metrics registry** — saturating [counters](Handle::counter_add),
+//!    last-value [gauges](Handle::gauge_set), and fixed-bucket
+//!    [histograms](Handle::observe) borrowing the `bz-wsn` bucketing
+//!    idiom.
+//! 3. **Exporters** — [`Handle::write_jsonl`] / [`Handle::write_csv`] for
+//!    machines plus a human [`Handle::summary_table`]; formats are
+//!    documented in `docs/OBSERVABILITY.md`.
+//!
+//! The API is **instance-first**: all state lives behind a [`Handle`], and
+//! instrumented components (the event queue, the channel, the controllers,
+//! the plant) carry the handle they record against. [`Handle::isolated`]
+//! gives embedders — parallel sweep runs, unit tests — a private registry
+//! with no shared mutable state. The crate-level free functions below are
+//! a thin convenience wrapper over the process-global [`Handle::global`],
+//! which is what components use when no handle is supplied.
 //!
 //! Collection is off by default and gated behind one relaxed atomic load,
 //! so fully instrumented hot paths cost nothing measurable when telemetry
-//! is disabled. The global registry is process-wide; embedders that need
-//! isolation (unit tests, parallel trials) can drive a plain [`Registry`]
-//! value directly instead.
+//! is disabled.
 //!
-//! # Example
+//! # Example (global facade)
 //!
 //! ```
 //! bz_obs::enable();
@@ -38,113 +45,100 @@
 //! assert_eq!(snapshot.spans["core.control_tick"].sim_ms_total, 10);
 //! bz_obs::disable();
 //! ```
+//!
+//! # Example (isolated handle)
+//!
+//! ```
+//! let obs = bz_obs::Handle::isolated();
+//! obs.counter_inc("wsn.packets.sent");
+//! assert_eq!(obs.snapshot().counters["wsn.packets.sent"], 1);
+//! // The global registry is untouched.
+//! assert!(!bz_obs::Handle::global().same_registry(&obs));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod handle;
 mod hist;
 mod registry;
 mod span;
 
+pub use handle::Handle;
 pub use hist::{FixedHistogram, DEFAULT_BUCKETS};
 pub use registry::{Event, Registry, Snapshot, SpanStats, MAX_EVENTS};
 pub use span::SpanGuard;
 
 use std::io::{self, Write};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Mutex, OnceLock};
 
-/// Master switch; metric calls are no-ops while this is false.
-static ENABLED: AtomicBool = AtomicBool::new(false);
-
-/// The process-wide registry, created on first use.
-static GLOBAL: OnceLock<Mutex<Registry>> = OnceLock::new();
-
-/// Runs `f` against the global registry (creating it on first use).
-pub(crate) fn with_registry<T>(f: impl FnOnce(&mut Registry) -> T) -> T {
-    let mutex = GLOBAL.get_or_init(|| Mutex::new(Registry::new()));
-    let mut guard = match mutex.lock() {
-        Ok(guard) => guard,
-        // A panic mid-update can only leave partially-recorded metrics,
-        // never corrupt state worth abandoning telemetry over.
-        Err(poisoned) => poisoned.into_inner(),
-    };
-    f(&mut guard)
-}
-
-/// Turns metric collection on.
+/// Turns metric collection on for the global handle.
 pub fn enable() {
-    ENABLED.store(true, Ordering::Relaxed);
+    Handle::global().enable();
 }
 
-/// Turns metric collection off (already-recorded data is kept).
+/// Turns global metric collection off (already-recorded data is kept).
 pub fn disable() {
-    ENABLED.store(false, Ordering::Relaxed);
+    Handle::global().disable();
 }
 
-/// Whether collection is currently on.
+/// Whether global collection is currently on.
 #[must_use]
 pub fn is_enabled() -> bool {
-    ENABLED.load(Ordering::Relaxed)
+    Handle::global().is_enabled()
 }
 
-/// Clears all recorded metrics and events (the enabled flag is untouched).
+/// Clears the global registry's metrics and events (the enabled flag is
+/// untouched).
 pub fn reset() {
-    with_registry(Registry::reset);
+    Handle::global().reset();
 }
 
-/// Adds `delta` to counter `name` (saturating).
+/// Adds `delta` to the global counter `name` (saturating).
 pub fn counter_add(name: &'static str, delta: u64) {
-    if is_enabled() {
-        with_registry(|registry| registry.counter_add(name, delta));
-    }
+    Handle::global().counter_add(name, delta);
 }
 
-/// Adds one to counter `name`.
+/// Adds one to the global counter `name`.
 pub fn counter_inc(name: &'static str) {
-    counter_add(name, 1);
+    Handle::global().counter_inc(name);
 }
 
-/// Sets gauge `name` to `value` at simulation time `t_ms`.
+/// Sets the global gauge `name` to `value` at simulation time `t_ms`.
 pub fn gauge_set(name: &'static str, t_ms: u64, value: f64) {
-    if is_enabled() {
-        with_registry(|registry| registry.gauge_set(name, t_ms, value));
-    }
+    Handle::global().gauge_set(name, t_ms, value);
 }
 
-/// Observes `value` into histogram `name` over [`DEFAULT_BUCKETS`].
+/// Observes `value` into the global histogram `name` over
+/// [`DEFAULT_BUCKETS`].
 pub fn observe(name: &'static str, value: f64) {
-    observe_in(name, DEFAULT_BUCKETS, value);
+    Handle::global().observe(name, value);
 }
 
-/// Observes `value` into histogram `name`, creating it over `buckets` on
-/// first use (later calls keep the original buckets).
+/// Observes `value` into the global histogram `name`, creating it over
+/// `buckets` on first use (later calls keep the original buckets).
 pub fn observe_in(name: &'static str, buckets: &'static [f64], value: f64) {
-    if is_enabled() {
-        with_registry(|registry| registry.observe(name, buckets, value));
-    }
+    Handle::global().observe_in(name, buckets, value);
 }
 
-/// Samples every counter as a timestamped event at simulation time `t_ms`.
-/// Call at a fixed simulated cadence (e.g. once per simulated minute) to
-/// put counter trajectories, not just totals, in the export.
+/// Samples every global counter as a timestamped event at simulation time
+/// `t_ms`. Call at a fixed simulated cadence (e.g. once per simulated
+/// minute) to put counter trajectories, not just totals, in the export.
 pub fn record_counters(t_ms: u64) {
-    if is_enabled() {
-        with_registry(|registry| registry.record_counters(t_ms));
-    }
+    Handle::global().record_counters(t_ms);
 }
 
-/// Opens a span named `name` at simulation time `sim_now_ms`. Close it
-/// with [`SpanGuard::exit`]; see [`SpanGuard`] for drop semantics.
+/// Opens a span named `name` at simulation time `sim_now_ms` against the
+/// global registry. Close it with [`SpanGuard::exit`]; see [`SpanGuard`]
+/// for drop semantics.
 #[must_use]
 pub fn span(name: &'static str, sim_now_ms: u64) -> SpanGuard {
-    SpanGuard::enter(name, sim_now_ms, is_enabled())
+    Handle::global().span(name, sim_now_ms)
 }
 
 /// An owned copy of the global registry state.
 #[must_use]
 pub fn snapshot() -> Snapshot {
-    with_registry(|registry| registry.snapshot())
+    Handle::global().snapshot()
 }
 
 /// Writes the global registry as JSONL (see [`Registry::write_jsonl`]).
@@ -153,7 +147,7 @@ pub fn snapshot() -> Snapshot {
 ///
 /// Returns any I/O error from `out`.
 pub fn write_jsonl<W: Write>(out: W) -> io::Result<()> {
-    with_registry(|registry| registry.write_jsonl(out))
+    Handle::global().write_jsonl(out)
 }
 
 /// Writes the global registry's event stream as CSV (see
@@ -163,18 +157,19 @@ pub fn write_jsonl<W: Write>(out: W) -> io::Result<()> {
 ///
 /// Returns any I/O error from `out`.
 pub fn write_csv<W: Write>(out: W) -> io::Result<()> {
-    with_registry(|registry| registry.write_csv(out))
+    Handle::global().write_csv(out)
 }
 
 /// Renders the human-readable end-of-run summary of the global registry.
 #[must_use]
 pub fn summary_table() -> String {
-    with_registry(|registry| registry.summary_table())
+    Handle::global().summary_table()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Mutex;
 
     /// The global registry is shared across the test binary, so every
     /// facade test runs under this lock and restores the disabled state.
@@ -202,6 +197,14 @@ mod tests {
             assert!(snapshot.histograms.is_empty());
             assert!(snapshot.spans.is_empty());
             assert!(snapshot.events.is_empty());
+        });
+    }
+
+    #[test]
+    fn facade_operates_on_the_global_handle() {
+        with_exclusive_global(|| {
+            counter_inc("c");
+            assert_eq!(Handle::global().snapshot().counters["c"], 1);
         });
     }
 

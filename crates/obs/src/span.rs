@@ -3,12 +3,18 @@
 use std::cell::Cell;
 use std::time::Instant;
 
+use crate::handle::Handle;
+
 thread_local! {
-    /// Current span nesting depth on this thread.
+    /// Current span nesting depth on this thread. Depth is a per-thread
+    /// property by construction: a scenario run executes on one thread,
+    /// and RAII guarantees every guard restores the depth it took, so
+    /// parallel runs on separate threads each nest from zero.
     static DEPTH: Cell<u32> = const { Cell::new(0) };
 }
 
-/// RAII guard for one span occurrence, created by [`crate::span`].
+/// RAII guard for one span occurrence, created by [`crate::span`] or
+/// [`Handle::span`].
 ///
 /// Call [`SpanGuard::exit`] with the current simulation time to record both
 /// the wall-clock and simulated durations. If the guard is instead dropped
@@ -21,13 +27,14 @@ pub struct SpanGuard {
     wall_start: Instant,
     sim_start_ms: u64,
     depth: u32,
-    /// False for guards minted while telemetry is disabled: exits are no-ops.
-    active: bool,
+    /// The registry to record into; `None` for guards minted while
+    /// telemetry was disabled, whose exits are no-ops.
+    sink: Option<Handle>,
 }
 
 impl SpanGuard {
-    pub(crate) fn enter(name: &'static str, sim_now_ms: u64, active: bool) -> Self {
-        let depth = if active {
+    pub(crate) fn enter(name: &'static str, sim_now_ms: u64, sink: Option<Handle>) -> Self {
+        let depth = if sink.is_some() {
             DEPTH.with(|d| {
                 let depth = d.get();
                 d.set(depth + 1);
@@ -41,24 +48,23 @@ impl SpanGuard {
             wall_start: Instant::now(),
             sim_start_ms: sim_now_ms,
             depth,
-            active,
+            sink,
         }
     }
 
     /// Ends the span at simulation time `sim_now_ms`, recording its wall
-    /// and simulated durations in the global registry.
+    /// and simulated durations in the registry it was opened against.
     pub fn exit(mut self, sim_now_ms: u64) {
         self.finish(sim_now_ms.saturating_sub(self.sim_start_ms));
     }
 
     fn finish(&mut self, sim_ms: u64) {
-        if !self.active {
+        let Some(sink) = self.sink.take() else {
             return;
-        }
-        self.active = false;
+        };
         DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
         let wall_ns = self.wall_start.elapsed().as_nanos();
-        crate::with_registry(|registry| {
+        sink.with_registry(|registry| {
             registry.span_complete(self.name, self.sim_start_ms, sim_ms, self.depth, wall_ns);
         });
     }

@@ -60,21 +60,31 @@ impl<E> Ord for Entry<E> {
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
+    obs: bz_obs::Handle,
 }
 
 impl<E> EventQueue<E> {
-    /// Creates an empty queue.
+    /// Creates an empty queue recording throughput counters against the
+    /// global `bz_obs` registry.
     #[must_use]
     pub fn new() -> Self {
+        Self::with_obs(bz_obs::Handle::global())
+    }
+
+    /// Creates an empty queue recording against `obs` (per-run metric
+    /// isolation for parallel embeddings).
+    #[must_use]
+    pub fn with_obs(obs: bz_obs::Handle) -> Self {
         Self {
             heap: BinaryHeap::new(),
             next_seq: 0,
+            obs,
         }
     }
 
     /// Schedules `event` to fire at `at`.
     pub fn schedule(&mut self, at: SimTime, event: E) {
-        bz_obs::counter_inc("simcore.event_queue.scheduled");
+        self.obs.counter_inc("simcore.event_queue.scheduled");
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Entry { at, seq, event });
@@ -84,7 +94,7 @@ impl<E> EventQueue<E> {
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         let popped = self.heap.pop().map(|entry| (entry.at, entry.event));
         if popped.is_some() {
-            bz_obs::counter_inc("simcore.event_queue.popped");
+            self.obs.counter_inc("simcore.event_queue.popped");
         }
         popped
     }
@@ -188,5 +198,17 @@ mod tests {
     fn default_is_empty() {
         let q: EventQueue<()> = EventQueue::default();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn with_obs_counts_into_the_supplied_registry() {
+        let obs = bz_obs::Handle::isolated();
+        let mut q = EventQueue::with_obs(obs.clone());
+        q.schedule(SimTime::ZERO, 1);
+        q.schedule(SimTime::ZERO, 2);
+        let _ = q.pop();
+        let counters = obs.snapshot().counters;
+        assert_eq!(counters["simcore.event_queue.scheduled"], 2);
+        assert_eq!(counters["simcore.event_queue.popped"], 1);
     }
 }

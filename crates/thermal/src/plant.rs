@@ -266,6 +266,7 @@ pub struct ThermalPlant {
     telemetry: StepTelemetry,
     meters: EnergyMeters,
     last_zone_inputs: [ZoneInputs; 4],
+    obs: bz_obs::Handle,
 }
 
 /// Adjacent-subspace pairs in the 2×2 layout (S1 S2 / S3 S4).
@@ -314,7 +315,16 @@ impl ThermalPlant {
             telemetry: StepTelemetry::default(),
             meters: EnergyMeters::default(),
             last_zone_inputs: Default::default(),
+            obs: bz_obs::Handle::global(),
         }
+    }
+
+    /// Redirects this plant's spans and gauges to `obs` (per-run
+    /// isolation).
+    #[must_use]
+    pub fn with_obs(mut self, obs: bz_obs::Handle) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Current simulation time.
@@ -336,7 +346,7 @@ impl ThermalPlant {
     /// Panics if `dt` is zero.
     pub fn step(&mut self, dt: SimDuration, commands: &ActuatorCommands) {
         assert!(!dt.is_zero(), "plant step must advance time");
-        let step_span = bz_obs::span("thermal.plant.step", self.now.as_millis());
+        let step_span = self.obs.span("thermal.plant.step", self.now.as_millis());
         let dt_s = dt.as_secs_f64();
         self.now += dt;
         self.outdoor = self.weather.sample(self.now);
@@ -350,7 +360,7 @@ impl ThermalPlant {
         let mut telemetry = StepTelemetry::default();
 
         // --- Radiant loops ------------------------------------------------
-        let panel_span = bz_obs::span("thermal.panels.step", self.now.as_millis());
+        let panel_span = self.obs.span("thermal.panels.step", self.now.as_millis());
         let mut hvac_sensible = [0.0f64; 4];
         let mut hvac_condensation = [0.0f64; 4];
         for panel_idx in 0..2 {
@@ -460,7 +470,7 @@ impl ThermalPlant {
         }
 
         // --- Zones (using pre-step neighbor states for symmetry) ----------
-        let zone_span = bz_obs::span("thermal.zones.step", self.now.as_millis());
+        let zone_span = self.obs.span("thermal.zones.step", self.now.as_millis());
         self.last_zone_inputs = zone_inputs;
         let pre_states: [AirState; 4] = std::array::from_fn(|i| self.zones[i].state());
         for (i, zone) in self.zones.iter_mut().enumerate() {
@@ -495,12 +505,12 @@ impl ThermalPlant {
         self.vent_chiller.regulate(&mut self.vent_tank, dt_s);
         telemetry.radiant_chiller_w = self.radiant_chiller.electrical_power().get();
         telemetry.vent_chiller_w = self.vent_chiller.electrical_power().get();
-        bz_obs::gauge_set(
+        self.obs.gauge_set(
             "thermal.chiller.radiant_w",
             self.now.as_millis(),
             telemetry.radiant_chiller_w,
         );
-        bz_obs::gauge_set(
+        self.obs.gauge_set(
             "thermal.chiller.vent_w",
             self.now.as_millis(),
             telemetry.vent_chiller_w,

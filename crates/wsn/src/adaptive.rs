@@ -122,10 +122,12 @@ pub struct BtAdaptive {
     next_send: SimTime,
     transmissions: u64,
     samples: u64,
+    obs: bz_obs::Handle,
 }
 
 impl BtAdaptive {
-    /// Creates a scheduler; the first sample always transmits.
+    /// Creates a scheduler; the first sample always transmits. Period
+    /// changes are recorded against the global `bz_obs` registry.
     #[must_use]
     pub fn new(config: AdaptiveConfig) -> Self {
         Self {
@@ -140,7 +142,15 @@ impl BtAdaptive {
             transmissions: 0,
             samples: 0,
             config,
+            obs: bz_obs::Handle::global(),
         }
+    }
+
+    /// Redirects this scheduler's metrics to `obs` (per-run isolation).
+    #[must_use]
+    pub fn with_obs(mut self, obs: bz_obs::Handle) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// The configuration in use.
@@ -245,8 +255,9 @@ impl BtAdaptive {
                     }
                 }
                 if self.w != w_before {
-                    bz_obs::counter_inc("wsn.btadpt.period_changes");
-                    bz_obs::observe("wsn.btadpt.send_period_s", self.send_period().as_secs_f64());
+                    self.obs.counter_inc("wsn.btadpt.period_changes");
+                    self.obs
+                        .observe("wsn.btadpt.send_period_s", self.send_period().as_secs_f64());
                 }
             }
         }

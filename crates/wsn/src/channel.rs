@@ -139,10 +139,12 @@ pub struct Network {
     in_flight: Vec<Flight>,
     stats: ChannelStats,
     failures: Vec<(Message, TxFailure)>,
+    obs: bz_obs::Handle,
 }
 
 impl Network {
-    /// Creates a network with its own random stream.
+    /// Creates a network with its own random stream, recording packet
+    /// counters against the global `bz_obs` registry.
     #[must_use]
     pub fn new(config: NetworkConfig, rng: Rng) -> Self {
         Self {
@@ -151,7 +153,15 @@ impl Network {
             in_flight: Vec::new(),
             stats: ChannelStats::default(),
             failures: Vec::new(),
+            obs: bz_obs::Handle::global(),
         }
+    }
+
+    /// Redirects this network's metrics to `obs` (per-run isolation).
+    #[must_use]
+    pub fn with_obs(mut self, obs: bz_obs::Handle) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// The configuration in use.
@@ -172,7 +182,7 @@ impl Network {
     /// `false` if the backoff budget was exhausted.
     pub fn send(&mut self, now: SimTime, message: Message) -> bool {
         self.stats.offered += 1;
-        bz_obs::counter_inc("wsn.packets.sent");
+        self.obs.counter_inc("wsn.packets.sent");
         let airtime = self.config.airtime(message.payload_bytes());
 
         // CSMA: find a start instant at which the channel is clear, with
@@ -183,7 +193,7 @@ impl Network {
             if self.busy_at(candidate) {
                 if attempt >= self.config.max_backoffs {
                     self.stats.busy_drops += 1;
-                    bz_obs::counter_inc("wsn.packets.dropped_busy");
+                    self.obs.counter_inc("wsn.packets.dropped_busy");
                     self.failures.push((message, TxFailure::ChannelBusy));
                     return false;
                 }
@@ -201,7 +211,7 @@ impl Network {
                 candidate = horizon + SimDuration::from_millis(slots * self.config.backoff_unit_ms);
                 attempt += 1;
                 self.stats.backoffs += 1;
-                bz_obs::counter_inc("wsn.backoffs");
+                self.obs.counter_inc("wsn.backoffs");
             } else {
                 break;
             }
@@ -249,17 +259,18 @@ impl Network {
         for f in done {
             if f.corrupted {
                 self.stats.collided += 1;
-                bz_obs::counter_inc("wsn.packets.collided");
+                self.obs.counter_inc("wsn.packets.collided");
                 self.failures.push((f.message, TxFailure::Collision));
             } else if f.faded {
                 self.stats.faded += 1;
-                bz_obs::counter_inc("wsn.packets.dropped_fading");
+                self.obs.counter_inc("wsn.packets.dropped_fading");
                 self.failures.push((f.message, TxFailure::Fading));
             } else {
                 let delay = f.end.since(f.requested);
                 self.stats.delivered += 1;
-                bz_obs::counter_inc("wsn.packets.delivered");
-                bz_obs::observe("wsn.delivery_delay_ms", delay.as_millis() as f64);
+                self.obs.counter_inc("wsn.packets.delivered");
+                self.obs
+                    .observe("wsn.delivery_delay_ms", delay.as_millis() as f64);
                 self.stats.total_delay_ms += delay.as_millis();
                 self.stats.max_delay_ms = self.stats.max_delay_ms.max(delay.as_millis());
                 deliveries.push(Delivery {
