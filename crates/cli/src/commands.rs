@@ -3,6 +3,7 @@
 use std::fs::File;
 
 use bz_core::baseline::{AirConConfig, AirConSystem};
+use bz_core::chaos::ChaosScenario;
 use bz_core::metrics::CopSummary;
 use bz_core::scenario::{NetworkTrial, TRIAL_START_HOUR};
 use bz_core::system::{BtMode, BubbleZeroSystem, SystemConfig};
@@ -48,6 +49,9 @@ COMMANDS:
                  --runs N (4)  --seed-base S  --minutes N (5)
                  --grid \"key=v1,v2;key2=v3\"  --jobs N (1)
                  --out-dir DIR  --metrics-out PATH  --quiet
+    chaos      full-stack fault-injection run with a resilience report
+                 --scenario PATH (bundled)  --minutes N  --seed S
+                 --metrics-out PATH
     help       print this text
 
 `--metrics-out PATH` enables the bz-obs telemetry layer for the run and
@@ -78,6 +82,7 @@ pub fn run(command: &str, raw: Vec<String>) -> Result<String, ArgError> {
         "sniff" => sniff(&args),
         "endurance" => endurance(&args),
         "sweep" => sweep(&args),
+        "chaos" => chaos(&args),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
         other => Err(ArgError::new(format!(
             "unknown command '{other}'\n\n{USAGE}"
@@ -553,6 +558,44 @@ fn sweep(args: &Args) -> Result<String, ArgError> {
     Ok(out)
 }
 
+/// Loads a chaos scenario (the bundled acceptance scenario unless
+/// `--scenario PATH` points at a JSON file), applies any `--minutes` /
+/// `--seed` overrides, runs it, and prints the resilience report. The
+/// machine-greppable `chaos-result:` line carries the headline numbers
+/// for CI smoke checks.
+fn chaos(args: &Args) -> Result<String, ArgError> {
+    args.expect_only(&["scenario", "minutes", "seed", "metrics-out"])?;
+    let mut scenario = match args.get("scenario") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| ArgError::new(format!("cannot read {path}: {e}")))?;
+            ChaosScenario::from_json(&text).map_err(|e| ArgError::new(format!("{path}: {e}")))?
+        }
+        None if args.flag("scenario") => {
+            return Err(ArgError::new("flag --scenario needs a value"))
+        }
+        None => ChaosScenario::bundled_basic(),
+    };
+    let default_mins = (scenario.duration.as_secs_f64() / 60.0).round() as u64;
+    let minutes: u64 = args.get_or("minutes", default_mins)?;
+    if minutes == 0 {
+        return Err(ArgError::new("--minutes must be positive"));
+    }
+    scenario.duration = SimDuration::from_mins(minutes);
+    scenario.seed = args.get_or("seed", scenario.seed)?;
+    let metrics = metrics_begin(args)?;
+
+    let report = scenario.run();
+    let mut out = report.render();
+    out += "\n";
+    out += &report.summary_line();
+    out += "\n";
+    if let Some(path) = metrics {
+        metrics_finish(&path, &mut out)?;
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -653,6 +696,35 @@ mod tests {
         assert!(run("sweep", vec!["--grid".into(), "frobnicate=1".into()]).is_err());
         assert!(run("sweep", vec!["--scenario".into(), "nope".into()]).is_err());
         assert!(run("sweep", vec!["--metrics-out".into()]).is_err());
+    }
+
+    #[test]
+    fn chaos_runs_bundled_short() {
+        let out = run_ok("chaos", &["--minutes", "5"]);
+        assert!(out.contains("chaos scenario 'bundled-basic'"));
+        assert!(out.contains("chaos-result: scenario=bundled-basic"));
+    }
+
+    #[test]
+    fn chaos_loads_the_bundled_scenario_file() {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../scenarios/chaos_basic.json"
+        );
+        let out = run_ok("chaos", &["--scenario", path, "--minutes", "3"]);
+        assert!(out.contains("chaos-result: scenario=bundled-basic"));
+    }
+
+    #[test]
+    fn chaos_rejects_bad_inputs() {
+        assert!(run("chaos", vec!["--scenario".into()]).is_err());
+        assert!(run("chaos", vec!["--minutes".into(), "0".into()]).is_err());
+        let err = run(
+            "chaos",
+            vec!["--scenario".into(), "/nonexistent.json".into()],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("cannot read"));
     }
 
     #[test]

@@ -23,7 +23,15 @@
 //!   formula, convergence detection, and comfort statistics;
 //! - [`scenario`] — the canned experiments behind every figure: the
 //!   13:00–14:45 afternoon trial (Fig. 10/11) and the 5-hour networking
-//!   trial (Fig. 12–15).
+//!   trial (Fig. 12–15);
+//! - [`supervisor`] — the controller-side sensor-health layer: validates
+//!   every delivered reading (range, rate, stuck-at), engages a
+//!   condensation safe mode when dew-margin inputs go untrustworthy, and
+//!   watches commanded-vs-sensed loop flow for stuck pumps;
+//! - [`chaos`] — deterministic full-stack fault schedules (sensor +
+//!   network + actuator) and the resilience metrics (time-to-detect,
+//!   time-to-recover, comfort-violation minutes) that quantify the
+//!   paper's "one subspace, not the whole room" degradation property.
 //!
 //! # Example
 //!
@@ -39,11 +47,13 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod chaos;
 pub mod devices;
 pub mod metrics;
 pub mod pid;
 pub mod radiant;
 pub mod scenario;
+pub mod supervisor;
 pub mod system;
 pub mod targets;
 pub mod ventilation;

@@ -16,18 +16,22 @@
 
 use bz_psychro::{Celsius, Percent};
 use bz_simcore::{EventQueue, Rng, SimDuration, SimTime};
-use bz_thermal::plant::{ActuatorCommands, PlantConfig, ThermalPlant};
+use bz_thermal::plant::{ActuatorCommands, PlantConfig, RadiantLoopCommand, ThermalPlant};
+use bz_thermal::sensors::SensorTarget;
 use bz_thermal::zone::SubspaceId;
 use bz_wsn::ac_schedule::AcScheduler;
 use bz_wsn::adaptive::{AdaptiveConfig, BtAdaptive, FixedSchedule};
 use bz_wsn::channel::{Network, NetworkConfig};
 use bz_wsn::energy::{EnergyLedger, EnergyModel};
+use bz_wsn::faults::WsnFaultSchedule;
 use bz_wsn::histogram::Stability;
 use bz_wsn::message::{DataType, Message, NodeId};
+use bz_wsn::retry::{ControlRetrier, RetryConfig};
 use bz_wsn::sniffer::Sniffer;
 
 use crate::devices::{channels, DeviceRole};
 use crate::radiant::{RadiantConfig, RadiantController, RadiantDecision};
+use crate::supervisor::{SensorHealthSupervisor, SupervisorConfig};
 use crate::targets::ComfortTargets;
 use crate::ventilation::{VentilationConfig, VentilationController, VentilationDecision};
 
@@ -70,6 +74,12 @@ pub struct SystemConfig {
     /// temperature / humidity / CO₂, but the §V-C networking trial runs
     /// temperature at 2 s (Fig. 14/15); scenarios override here.
     pub sampling_overrides: Vec<(DataType, SimDuration)>,
+    /// Scripted network faults (dead motes, degraded links).
+    pub wsn_faults: WsnFaultSchedule,
+    /// Sensor-health supervisor tuning.
+    pub supervisor: SupervisorConfig,
+    /// Bounded retry policy for failed control-plane sends.
+    pub retry: RetryConfig,
     /// Seed for the network and scheduler randomness (the plant has its
     /// own seed inside `plant`).
     pub seed: u64,
@@ -92,6 +102,9 @@ impl SystemConfig {
             record_decisions: false,
             enable_sniffer: false,
             sampling_overrides: Vec::new(),
+            wsn_faults: WsnFaultSchedule::none(),
+            supervisor: SupervisorConfig::default(),
+            retry: RetryConfig::default(),
             seed: 0x5EED_0001,
         }
     }
@@ -223,6 +236,8 @@ pub struct BubbleZeroSystem {
     outlet_cache: [(Option<Celsius>, Option<Percent>); 4],
     decision_log: Vec<DecisionRecord>,
     sniffer: Option<Sniffer>,
+    supervisor: SensorHealthSupervisor,
+    retrier: ControlRetrier,
     obs: bz_obs::Handle,
 }
 
@@ -242,7 +257,9 @@ impl BubbleZeroSystem {
     pub fn with_obs(config: SystemConfig, obs: bz_obs::Handle) -> Self {
         let mut rng = Rng::seed_from(config.seed);
         let plant = ThermalPlant::new(config.plant.clone()).with_obs(obs.clone());
-        let network = Network::new(config.network, rng.fork()).with_obs(obs.clone());
+        let network = Network::new(config.network, rng.fork())
+            .with_obs(obs.clone())
+            .with_faults(config.wsn_faults.clone());
 
         let radiant = std::array::from_fn(|_| {
             RadiantController::new(config.radiant, config.targets, *plant.loop_pump())
@@ -387,6 +404,8 @@ impl BubbleZeroSystem {
         }
 
         let config2_sniffer = config.enable_sniffer.then(Sniffer::new);
+        let supervisor = SensorHealthSupervisor::new(config.supervisor).with_obs(obs.clone());
+        let retrier = ControlRetrier::new(config.retry).with_obs(obs.clone());
         Self {
             config,
             plant,
@@ -406,6 +425,8 @@ impl BubbleZeroSystem {
             outlet_cache: Default::default(),
             decision_log: Vec::new(),
             sniffer: config2_sniffer,
+            supervisor,
+            retrier,
             obs,
         }
     }
@@ -494,6 +515,12 @@ impl BubbleZeroSystem {
     #[must_use]
     pub fn sniffer(&self) -> Option<&Sniffer> {
         self.sniffer.as_ref()
+    }
+
+    /// The sensor-health supervisor (detection log, safe-mode state).
+    #[must_use]
+    pub fn supervisor(&self) -> &SensorHealthSupervisor {
+        &self.supervisor
     }
 
     /// The BT-ADPT decision log (empty unless `record_decisions`).
@@ -639,6 +666,12 @@ impl BubbleZeroSystem {
                     self.events.schedule(ac.next_fire, SystemEvent::AcFire(i));
                 }
             }
+            // Control-plane frames additionally get a bounded resend;
+            // data-plane samples stay fire-and-forget (paper CSMA).
+            self.retrier.on_failure(self.now, message, failure);
+        }
+        for message in self.retrier.due(self.now) {
+            self.network.send(self.now, message);
         }
 
         // --- Control cycle ----------------------------------------------------
@@ -659,8 +692,36 @@ impl BubbleZeroSystem {
         step_span.exit(self.now.as_millis());
     }
 
+    /// The plant-side sensing element behind a stream binding.
+    fn sensor_target(binding: SensorBinding) -> SensorTarget {
+        match binding {
+            SensorBinding::CeilingTemp { panel, k }
+            | SensorBinding::CeilingHumidity { panel, k } => SensorTarget::Ceiling(panel * 6 + k),
+            SensorBinding::RoomTemp(s) | SensorBinding::RoomHumidity(s) => SensorTarget::Room(s),
+            SensorBinding::Co2(s) => SensorTarget::Co2(s),
+        }
+    }
+
     fn sample_bt_stream(&mut self, index: usize, at: SimTime) {
         let binding = self.bt_streams[index].binding;
+        let device = self.bt_streams[index].device_index;
+        // A dead or battery-exhausted mote does nothing at all: no
+        // sampling, no transmission, no energy draw beyond what it has
+        // already spent.
+        if self
+            .network
+            .faults()
+            .node_dead(self.bt_streams[index].node, at)
+            || self.bt_ledgers[device].exhausted()
+        {
+            return;
+        }
+        // A dropped-out sensing element answers nothing: the mote pays
+        // for the attempted sampling but has no value to process or send.
+        if self.plant.sensor_dropped_out(Self::sensor_target(binding)) {
+            self.bt_ledgers[device].record_sample(at);
+            return;
+        }
         let value = match binding {
             SensorBinding::CeilingTemp { panel, k } => {
                 self.plant.read_ceiling_sensor(panel, k).0.get()
@@ -675,7 +736,6 @@ impl BubbleZeroSystem {
             SensorBinding::Co2(s) => self.plant.read_co2(SubspaceId::from_index(s)).get(),
         };
 
-        let device = self.bt_streams[index].device_index;
         self.bt_ledgers[device].record_sample(at);
 
         let (transmit, record) = match &mut self.bt_streams[index].scheduler {
@@ -705,12 +765,20 @@ impl BubbleZeroSystem {
             let stream = &self.bt_streams[index];
             let message =
                 Message::on_channel(stream.node, stream.data_type, stream.channel, value, at);
+            if self.obs.is_enabled() {
+                self.obs
+                    .counter_inc(format!("wsn.node.{}.sent", stream.node.get()));
+            }
             self.network.send(at, message);
         }
     }
 
     fn fire_ac_stream(&mut self, index: usize, at: SimTime) {
         let node = self.ac_streams[index].node;
+        if self.obs.is_enabled() {
+            self.obs
+                .counter_inc(format!("wsn.node.{}.sent", node.get()));
+        }
         match self.ac_streams[index].kind {
             AcKind::SupplyTemp => {
                 let value = self.plant.read_supply_temp().get();
@@ -752,6 +820,17 @@ impl BubbleZeroSystem {
     fn route(&mut self, message: Message, at: SimTime) {
         let now_s = at.as_secs_f64();
         let channel = message.channel();
+        // Every delivered reading passes the sensor-health supervisor
+        // before any controller sees it; a rejected reading is dropped and
+        // the consumer's own staleness cache serves as the
+        // last-known-good hold.
+        if self
+            .supervisor
+            .validate(now_s, message.data_type(), channel, message.value())
+            .is_err()
+        {
+            return;
+        }
         match message.data_type() {
             DataType::Temperature => {
                 if let Some(k) = channel.checked_sub(channels::CEILING_BASE) {
@@ -824,8 +903,14 @@ impl BubbleZeroSystem {
                     controller.observe_supply_temperature(now_s, Celsius::new(message.value()));
                 }
             }
-            // Flow broadcasts and the remaining types are log-only in this
-            // deployment (consumed by the sniffer, not by a controller).
+            // Control-C-2's loop-flow broadcast feeds the actuator
+            // watchdog (commanded vs sensed flow).
+            DataType::FlowRate if channel < 2 => {
+                self.supervisor
+                    .observe_loop_flow(channel as usize, now_s, message.value());
+            }
+            // The remaining types are log-only in this deployment
+            // (consumed by the sniffer, not by a controller).
             _ => {}
         }
     }
@@ -846,6 +931,8 @@ impl BubbleZeroSystem {
         let now_s = self.now.as_secs_f64();
         let dt_s = self.config.control_period.as_secs_f64();
 
+        // Re-probe any latched pump faults whose lockout has elapsed.
+        self.supervisor.begin_control_cycle(now_s);
         for panel in 0..2 {
             // Pipe sensors are wired straight into Control-C-1.
             let supply = self.plant.read_supply_temp();
@@ -854,7 +941,31 @@ impl BubbleZeroSystem {
             self.radiant[panel].set_pipe_readings(supply, ret);
             self.radiant[panel].observe_mixed_temp(mixed);
             let decision = self.radiant[panel].decide(now_s, dt_s);
-            self.commands.radiant[panel] = decision.command;
+            // Condensation safe mode: while the panel's dew-margin inputs
+            // are untrustworthy or its pump watchdog is latched, the
+            // valves stay closed regardless of what the controller wants.
+            let safe_mode = self.supervisor.radiant_safe_mode(panel, now_s);
+            let command = if safe_mode {
+                RadiantLoopCommand::default()
+            } else {
+                decision.command
+            };
+            // The watchdog expects the flow a *healthy* loop would deliver
+            // for the commanded voltages — the PID's raw flow target can
+            // exceed the pumps' rated flow, which is not a fault.
+            let pump = bz_thermal::hydronics::Pump::radiant_loop();
+            let applied_flow =
+                pump.flow(command.supply_voltage) + pump.flow(command.recycle_voltage);
+            self.commands.radiant[panel] = command;
+            self.supervisor
+                .observe_applied_flow(panel, now_s, applied_flow);
+            if self.obs.is_enabled() {
+                self.obs.gauge_set(
+                    format!("supervisor.safe_mode.panel{panel}"),
+                    self.now.as_millis(),
+                    f64::from(u8::from(safe_mode)),
+                );
+            }
             self.last_radiant[panel] = Some(decision);
         }
         for s in 0..4 {

@@ -13,6 +13,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::hist::DEFAULT_BUCKETS;
+use crate::key::MetricKey;
 use crate::registry::{Registry, Snapshot};
 use crate::span::SpanGuard;
 
@@ -121,36 +122,38 @@ impl Handle {
         self.with_registry(Registry::reset);
     }
 
-    /// Adds `delta` to counter `name` (saturating).
-    pub fn counter_add(&self, name: &'static str, delta: u64) {
+    /// Adds `delta` to counter `name` (saturating). `name` is anything
+    /// convertible to a [`MetricKey`] — a `&'static str` literal or an
+    /// owned `String` for per-entity keys like `wsn.node.21.sent`.
+    pub fn counter_add(&self, name: impl Into<MetricKey>, delta: u64) {
         if self.is_enabled() {
-            self.with_registry(|registry| registry.counter_add(name, delta));
+            self.with_registry(|registry| registry.counter_add(name.into(), delta));
         }
     }
 
     /// Adds one to counter `name`.
-    pub fn counter_inc(&self, name: &'static str) {
+    pub fn counter_inc(&self, name: impl Into<MetricKey>) {
         self.counter_add(name, 1);
     }
 
     /// Sets gauge `name` to `value` at simulation time `t_ms`.
-    pub fn gauge_set(&self, name: &'static str, t_ms: u64, value: f64) {
+    pub fn gauge_set(&self, name: impl Into<MetricKey>, t_ms: u64, value: f64) {
         if self.is_enabled() {
-            self.with_registry(|registry| registry.gauge_set(name, t_ms, value));
+            self.with_registry(|registry| registry.gauge_set(name.into(), t_ms, value));
         }
     }
 
     /// Observes `value` into histogram `name` over
     /// [`DEFAULT_BUCKETS`](crate::DEFAULT_BUCKETS).
-    pub fn observe(&self, name: &'static str, value: f64) {
+    pub fn observe(&self, name: impl Into<MetricKey>, value: f64) {
         self.observe_in(name, DEFAULT_BUCKETS, value);
     }
 
     /// Observes `value` into histogram `name`, creating it over `buckets`
     /// on first use (later calls keep the original buckets).
-    pub fn observe_in(&self, name: &'static str, buckets: &'static [f64], value: f64) {
+    pub fn observe_in(&self, name: impl Into<MetricKey>, buckets: &'static [f64], value: f64) {
         if self.is_enabled() {
-            self.with_registry(|registry| registry.observe(name, buckets, value));
+            self.with_registry(|registry| registry.observe(name.into(), buckets, value));
         }
     }
 
@@ -168,9 +171,9 @@ impl Handle {
     /// recording into this handle's registry. Close it with
     /// [`SpanGuard::exit`]; see [`SpanGuard`] for drop semantics.
     #[must_use]
-    pub fn span(&self, name: &'static str, sim_now_ms: u64) -> SpanGuard {
+    pub fn span(&self, name: impl Into<MetricKey>, sim_now_ms: u64) -> SpanGuard {
         let sink = self.is_enabled().then(|| self.clone());
-        SpanGuard::enter(name, sim_now_ms, sink)
+        SpanGuard::enter(name.into(), sim_now_ms, sink)
     }
 
     /// An owned copy of the registry state.

@@ -1,8 +1,9 @@
 //! Observability layer for the BubbleZERO reproduction.
 //!
-//! `bz-obs` provides three pieces, all addressed by `&'static str` keys and
-//! all keyed to the deterministic millisecond simulation clock rather than
-//! wall time:
+//! `bz-obs` provides three pieces, all addressed by [`MetricKey`]s — a
+//! `&'static str` literal for fixed instrumentation points or an owned
+//! `String` for per-entity keys like `wsn.node.21.sent` — and all keyed to
+//! the deterministic millisecond simulation clock rather than wall time:
 //!
 //! 1. **Spans** — [`Handle::span`] returns a guard; closing it with
 //!    [`SpanGuard::exit`] records both the simulated duration (exported,
@@ -61,11 +62,13 @@
 
 mod handle;
 mod hist;
+mod key;
 mod registry;
 mod span;
 
 pub use handle::Handle;
 pub use hist::{FixedHistogram, DEFAULT_BUCKETS};
+pub use key::MetricKey;
 pub use registry::{Event, Registry, Snapshot, SpanStats, MAX_EVENTS};
 pub use span::SpanGuard;
 
@@ -94,29 +97,29 @@ pub fn reset() {
 }
 
 /// Adds `delta` to the global counter `name` (saturating).
-pub fn counter_add(name: &'static str, delta: u64) {
+pub fn counter_add(name: impl Into<MetricKey>, delta: u64) {
     Handle::global().counter_add(name, delta);
 }
 
 /// Adds one to the global counter `name`.
-pub fn counter_inc(name: &'static str) {
+pub fn counter_inc(name: impl Into<MetricKey>) {
     Handle::global().counter_inc(name);
 }
 
 /// Sets the global gauge `name` to `value` at simulation time `t_ms`.
-pub fn gauge_set(name: &'static str, t_ms: u64, value: f64) {
+pub fn gauge_set(name: impl Into<MetricKey>, t_ms: u64, value: f64) {
     Handle::global().gauge_set(name, t_ms, value);
 }
 
 /// Observes `value` into the global histogram `name` over
 /// [`DEFAULT_BUCKETS`].
-pub fn observe(name: &'static str, value: f64) {
+pub fn observe(name: impl Into<MetricKey>, value: f64) {
     Handle::global().observe(name, value);
 }
 
 /// Observes `value` into the global histogram `name`, creating it over
 /// `buckets` on first use (later calls keep the original buckets).
-pub fn observe_in(name: &'static str, buckets: &'static [f64], value: f64) {
+pub fn observe_in(name: impl Into<MetricKey>, buckets: &'static [f64], value: f64) {
     Handle::global().observe_in(name, buckets, value);
 }
 
@@ -131,7 +134,7 @@ pub fn record_counters(t_ms: u64) {
 /// global registry. Close it with [`SpanGuard::exit`]; see [`SpanGuard`]
 /// for drop semantics.
 #[must_use]
-pub fn span(name: &'static str, sim_now_ms: u64) -> SpanGuard {
+pub fn span(name: impl Into<MetricKey>, sim_now_ms: u64) -> SpanGuard {
     Handle::global().span(name, sim_now_ms)
 }
 
@@ -222,8 +225,8 @@ mod tests {
             let depths: Vec<(&str, u32)> = snapshot
                 .events
                 .iter()
-                .filter_map(|event| match *event {
-                    Event::Span { name, depth, .. } => Some((name, depth)),
+                .filter_map(|event| match event {
+                    Event::Span { name, depth, .. } => Some((name.as_str(), *depth)),
                     _ => None,
                 })
                 .collect();

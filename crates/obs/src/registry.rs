@@ -5,6 +5,7 @@ use std::collections::BTreeMap;
 use std::io::{self, Write};
 
 use crate::hist::FixedHistogram;
+use crate::key::MetricKey;
 
 /// Hard cap on buffered events; beyond it events are counted but dropped,
 /// so a runaway run degrades to totals-only instead of exhausting memory.
@@ -13,13 +14,13 @@ pub const MAX_EVENTS: usize = 2_000_000;
 /// One timestamped entry in the exported stream. All fields are functions
 /// of the deterministic simulation alone — never of wall-clock time — so a
 /// seeded run exports byte-identical events every time.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Event {
     /// A counter's value sampled at a sim instant (see
     /// [`Registry::record_counters`]).
     Counter {
         /// Metric key.
-        name: &'static str,
+        name: MetricKey,
         /// Simulation time of the sample, ms.
         t_ms: u64,
         /// Counter value at that instant.
@@ -28,7 +29,7 @@ pub enum Event {
     /// A gauge update.
     Gauge {
         /// Metric key.
-        name: &'static str,
+        name: MetricKey,
         /// Simulation time of the update, ms.
         t_ms: u64,
         /// The new gauge value.
@@ -37,7 +38,7 @@ pub enum Event {
     /// A completed span.
     Span {
         /// Span key.
-        name: &'static str,
+        name: MetricKey,
         /// Simulation time at span entry, ms.
         t_ms: u64,
         /// Simulated duration covered by the span, ms.
@@ -66,13 +67,13 @@ pub struct SpanStats {
 #[derive(Debug, Clone, Default)]
 pub struct Snapshot {
     /// Counter totals by key.
-    pub counters: BTreeMap<&'static str, u64>,
+    pub counters: BTreeMap<MetricKey, u64>,
     /// Last-set gauge values by key.
-    pub gauges: BTreeMap<&'static str, f64>,
+    pub gauges: BTreeMap<MetricKey, f64>,
     /// Histograms by key.
-    pub histograms: BTreeMap<&'static str, FixedHistogram>,
+    pub histograms: BTreeMap<MetricKey, FixedHistogram>,
     /// Span aggregates by key.
-    pub spans: BTreeMap<&'static str, SpanStats>,
+    pub spans: BTreeMap<MetricKey, SpanStats>,
     /// Buffered events in record order.
     pub events: Vec<Event>,
     /// Events discarded after [`MAX_EVENTS`] was reached.
@@ -84,10 +85,10 @@ pub struct Snapshot {
 /// directly without touching process-global state.
 #[derive(Debug, Default)]
 pub struct Registry {
-    counters: BTreeMap<&'static str, u64>,
-    gauges: BTreeMap<&'static str, f64>,
-    histograms: BTreeMap<&'static str, FixedHistogram>,
-    spans: BTreeMap<&'static str, SpanStats>,
+    counters: BTreeMap<MetricKey, u64>,
+    gauges: BTreeMap<MetricKey, f64>,
+    histograms: BTreeMap<MetricKey, FixedHistogram>,
+    spans: BTreeMap<MetricKey, SpanStats>,
     events: Vec<Event>,
     dropped_events: u64,
 }
@@ -108,22 +109,23 @@ impl Registry {
     }
 
     /// Adds `delta` to the counter `name`, saturating at `u64::MAX`.
-    pub fn counter_add(&mut self, name: &'static str, delta: u64) {
-        let slot = self.counters.entry(name).or_insert(0);
+    pub fn counter_add(&mut self, name: impl Into<MetricKey>, delta: u64) {
+        let slot = self.counters.entry(name.into()).or_insert(0);
         *slot = slot.saturating_add(delta);
     }
 
     /// Sets gauge `name` to `value` and records a timestamped event.
-    pub fn gauge_set(&mut self, name: &'static str, t_ms: u64, value: f64) {
-        self.gauges.insert(name, value);
+    pub fn gauge_set(&mut self, name: impl Into<MetricKey>, t_ms: u64, value: f64) {
+        let name = name.into();
+        self.gauges.insert(name.clone(), value);
         self.push_event(Event::Gauge { name, t_ms, value });
     }
 
     /// Observes `value` into histogram `name`, creating it over `buckets`
     /// on first use. Later calls keep the original buckets.
-    pub fn observe(&mut self, name: &'static str, buckets: &'static [f64], value: f64) {
+    pub fn observe(&mut self, name: impl Into<MetricKey>, buckets: &'static [f64], value: f64) {
         self.histograms
-            .entry(name)
+            .entry(name.into())
             .or_insert_with(|| FixedHistogram::new(buckets))
             .observe(value);
     }
@@ -131,13 +133,14 @@ impl Registry {
     /// Records a completed span occurrence.
     pub fn span_complete(
         &mut self,
-        name: &'static str,
+        name: impl Into<MetricKey>,
         t_ms: u64,
         sim_ms: u64,
         depth: u32,
         wall_ns: u128,
     ) {
-        let stats = self.spans.entry(name).or_default();
+        let name = name.into();
+        let stats = self.spans.entry(name.clone()).or_default();
         stats.count = stats.count.saturating_add(1);
         stats.sim_ms_total = stats.sim_ms_total.saturating_add(sim_ms);
         stats.wall_ns_total = stats.wall_ns_total.saturating_add(wall_ns);
@@ -153,8 +156,8 @@ impl Registry {
     /// Samples every counter as a timestamped event (call this at a fixed
     /// simulated cadence to put counter trajectories in the export).
     pub fn record_counters(&mut self, t_ms: u64) {
-        let samples: Vec<(&'static str, u64)> =
-            self.counters.iter().map(|(&k, &v)| (k, v)).collect();
+        let samples: Vec<(MetricKey, u64)> =
+            self.counters.iter().map(|(k, &v)| (k.clone(), v)).collect();
         for (name, value) in samples {
             self.push_event(Event::Counter { name, t_ms, value });
         }
@@ -190,7 +193,7 @@ impl Registry {
     /// Returns any I/O error from `out`.
     pub fn write_jsonl<W: Write>(&self, mut out: W) -> io::Result<()> {
         for event in &self.events {
-            match *event {
+            match event {
                 Event::Counter { name, t_ms, value } => writeln!(
                     out,
                     "{{\"kind\":\"counter\",\"name\":\"{}\",\"t_ms\":{t_ms},\"value\":{value}}}",
@@ -200,7 +203,7 @@ impl Registry {
                     out,
                     "{{\"kind\":\"gauge\",\"name\":\"{}\",\"t_ms\":{t_ms},\"value\":{}}}",
                     escape(name),
-                    json_f64(value)
+                    json_f64(*value)
                 )?,
                 Event::Span {
                     name,
@@ -267,12 +270,12 @@ impl Registry {
     pub fn write_csv<W: Write>(&self, mut out: W) -> io::Result<()> {
         writeln!(out, "t_ms,kind,name,value,sim_ms,depth")?;
         for event in &self.events {
-            match *event {
+            match event {
                 Event::Counter { name, t_ms, value } => {
                     writeln!(out, "{t_ms},counter,{name},{value},,")?;
                 }
                 Event::Gauge { name, t_ms, value } => {
-                    writeln!(out, "{t_ms},gauge,{name},{},,", json_f64(value))?;
+                    writeln!(out, "{t_ms},gauge,{name},{},,", json_f64(*value))?;
                 }
                 Event::Span {
                     name,
@@ -404,12 +407,12 @@ mod tests {
             events,
             vec![
                 Event::Counter {
-                    name: "a",
+                    name: "a".into(),
                     t_ms: 1_000,
                     value: 1
                 },
                 Event::Counter {
-                    name: "b",
+                    name: "b".into(),
                     t_ms: 1_000,
                     value: 2
                 },

@@ -4,6 +4,7 @@ use std::cell::Cell;
 use std::time::Instant;
 
 use crate::handle::Handle;
+use crate::key::MetricKey;
 
 thread_local! {
     /// Current span nesting depth on this thread. Depth is a per-thread
@@ -23,7 +24,7 @@ thread_local! {
 /// paths.
 #[derive(Debug)]
 pub struct SpanGuard {
-    name: &'static str,
+    name: MetricKey,
     wall_start: Instant,
     sim_start_ms: u64,
     depth: u32,
@@ -33,7 +34,7 @@ pub struct SpanGuard {
 }
 
 impl SpanGuard {
-    pub(crate) fn enter(name: &'static str, sim_now_ms: u64, sink: Option<Handle>) -> Self {
+    pub(crate) fn enter(name: MetricKey, sim_now_ms: u64, sink: Option<Handle>) -> Self {
         let depth = if sink.is_some() {
             DEPTH.with(|d| {
                 let depth = d.get();
@@ -65,7 +66,13 @@ impl SpanGuard {
         DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
         let wall_ns = self.wall_start.elapsed().as_nanos();
         sink.with_registry(|registry| {
-            registry.span_complete(self.name, self.sim_start_ms, sim_ms, self.depth, wall_ns);
+            registry.span_complete(
+                self.name.clone(),
+                self.sim_start_ms,
+                sim_ms,
+                self.depth,
+                wall_ns,
+            );
         });
     }
 }

@@ -44,6 +44,33 @@ pub enum ActuatorFault {
     },
 }
 
+impl ActuatorFault {
+    /// Stable kebab-free name for metric keys (`fault.<kind>.active`).
+    #[must_use]
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Self::FanStuck { .. } => "fan_stuck",
+            Self::CoilPumpDead { .. } => "coil_pump_dead",
+            Self::SupplyPumpDead { .. } => "supply_pump_dead",
+            Self::RecyclePumpDead { .. } => "recycle_pump_dead",
+            Self::FlapJammedClosed { .. } => "flap_jammed_closed",
+        }
+    }
+
+    /// A total, content-based ordering used to break ties between faults
+    /// scheduled at the same instant. This makes [`FaultSchedule::apply`]
+    /// independent of the order events were pushed into the schedule.
+    fn sort_key(&self) -> (u8, usize, u8) {
+        match *self {
+            Self::FanStuck { airbox, level } => (0, airbox, level as u8),
+            Self::CoilPumpDead { airbox } => (1, airbox, 0),
+            Self::SupplyPumpDead { panel } => (2, panel, 0),
+            Self::RecyclePumpDead { panel } => (3, panel, 0),
+            Self::FlapJammedClosed { airbox } => (4, airbox, 0),
+        }
+    }
+}
+
 /// One scheduled fault: permanent from `at` onward (with an optional
 /// repair time).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -97,10 +124,18 @@ impl FaultSchedule {
 
     /// Applies the active faults to a command set, returning what the
     /// hardware actually does.
+    ///
+    /// When windows overlap on the same actuator, the fault scheduled
+    /// last (greatest `at`) wins; ties at the same instant resolve by a
+    /// content-based ordering, so the result never depends on the order
+    /// events were pushed into the schedule.
     #[must_use]
     pub fn apply(&self, commands: &ActuatorCommands, now: SimTime) -> ActuatorCommands {
         let mut effective = *commands;
-        for event in self.events.iter().filter(|e| e.is_active(now)) {
+        let mut active: Vec<&FaultEvent> =
+            self.events.iter().filter(|e| e.is_active(now)).collect();
+        active.sort_by_key(|e| (e.at, e.fault.sort_key()));
+        for event in active {
             match event.fault {
                 ActuatorFault::FanStuck { airbox, level } => {
                     effective.airboxes[airbox].fan = level;
@@ -204,6 +239,113 @@ mod tests {
             let effective = schedule.apply(&commands, now);
             assert!(check(&effective), "{fault:?} not applied");
         }
+    }
+
+    #[test]
+    fn overlapping_windows_last_scheduled_wins_regardless_of_vec_order() {
+        let early = FaultEvent {
+            at: SimTime::from_mins(5),
+            repaired_at: None,
+            fault: ActuatorFault::FanStuck {
+                airbox: 0,
+                level: FanLevel::L1,
+            },
+        };
+        let late = FaultEvent {
+            at: SimTime::from_mins(10),
+            repaired_at: None,
+            fault: ActuatorFault::FanStuck {
+                airbox: 0,
+                level: FanLevel::L4,
+            },
+        };
+        let commands = live_commands();
+        let now = SimTime::from_mins(15);
+        for events in [vec![early, late], vec![late, early]] {
+            let schedule = FaultSchedule::new(events);
+            assert_eq!(schedule.apply(&commands, now).airboxes[0].fan, FanLevel::L4);
+        }
+        // Before the later fault appears, the earlier one governs.
+        let schedule = FaultSchedule::new(vec![late, early]);
+        let mid = schedule.apply(&commands, SimTime::from_mins(7));
+        assert_eq!(mid.airboxes[0].fan, FanLevel::L1);
+    }
+
+    #[test]
+    fn same_instant_conflicts_resolve_by_content_not_push_order() {
+        let a = FaultEvent {
+            at: SimTime::from_mins(1),
+            repaired_at: None,
+            fault: ActuatorFault::FanStuck {
+                airbox: 2,
+                level: FanLevel::L2,
+            },
+        };
+        let b = FaultEvent {
+            at: SimTime::from_mins(1),
+            repaired_at: None,
+            fault: ActuatorFault::FanStuck {
+                airbox: 2,
+                level: FanLevel::L4,
+            },
+        };
+        let commands = live_commands();
+        let now = SimTime::from_mins(2);
+        let forward = FaultSchedule::new(vec![a, b]).apply(&commands, now);
+        let reverse = FaultSchedule::new(vec![b, a]).apply(&commands, now);
+        assert_eq!(forward.airboxes[2].fan, reverse.airboxes[2].fan);
+    }
+
+    #[test]
+    fn zero_length_repair_window_is_never_active() {
+        let at = SimTime::from_mins(10);
+        let event = FaultEvent {
+            at,
+            repaired_at: Some(at),
+            fault: ActuatorFault::SupplyPumpDead { panel: 0 },
+        };
+        assert!(!event.is_active(at));
+        let schedule = FaultSchedule::new(vec![event]);
+        let commands = live_commands();
+        assert_eq!(schedule.apply(&commands, at), commands);
+        assert!(!schedule.any_active(at));
+    }
+
+    #[test]
+    fn back_to_back_faults_hand_over_exactly_at_the_boundary() {
+        let boundary = SimTime::from_mins(10);
+        let first = FaultEvent {
+            at: SimTime::from_mins(5),
+            repaired_at: Some(boundary),
+            fault: ActuatorFault::FanStuck {
+                airbox: 1,
+                level: FanLevel::L1,
+            },
+        };
+        let second = FaultEvent {
+            at: boundary,
+            repaired_at: Some(SimTime::from_mins(15)),
+            fault: ActuatorFault::FanStuck {
+                airbox: 1,
+                level: FanLevel::L3,
+            },
+        };
+        let schedule = FaultSchedule::new(vec![first, second]);
+        let commands = live_commands();
+        let just_before = SimTime::from_millis(boundary.as_millis() - 1);
+        assert_eq!(
+            schedule.apply(&commands, just_before).airboxes[1].fan,
+            FanLevel::L1
+        );
+        // At the boundary instant, only the second fault is active.
+        assert_eq!(
+            schedule.apply(&commands, boundary).airboxes[1].fan,
+            FanLevel::L3
+        );
+        assert_eq!(
+            schedule.apply(&commands, SimTime::from_mins(15)).airboxes[1].fan,
+            commands.airboxes[1].fan
+        );
     }
 
     #[test]

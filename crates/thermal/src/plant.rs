@@ -21,7 +21,10 @@ use crate::faults::FaultSchedule;
 use crate::hydronics::{mix_supply_and_recycle, Pump, Tank};
 use crate::occupancy::OccupancySchedule;
 use crate::panel::{PanelParams, RadiantPanel};
-use crate::sensors::{Co2Sensor, FlowSensor, HumiditySensor, TemperatureSensor};
+use crate::sensors::{
+    Co2Sensor, FlowSensor, HumiditySensor, SensorFault, SensorFaultSchedule, SensorTarget,
+    TemperatureSensor,
+};
 use crate::weather::{Weather, WeatherConfig};
 use crate::zone::{AirState, SubspaceId, Zone, ZoneInputs, ZoneParams};
 
@@ -123,6 +126,8 @@ pub struct PlantConfig {
     pub disturbances: DisturbanceSchedule,
     /// Scripted actuator faults.
     pub faults: FaultSchedule,
+    /// Scripted sensor faults.
+    pub sensor_faults: SensorFaultSchedule,
     /// Scripted occupancy.
     pub occupancy: OccupancySchedule,
     /// Turbulent mixing flow between adjacent subspaces, m³/s.
@@ -150,6 +155,7 @@ impl PlantConfig {
             weather: WeatherConfig::singapore_afternoon(),
             disturbances: DisturbanceSchedule::none(),
             faults: FaultSchedule::none(),
+            sensor_faults: SensorFaultSchedule::none(),
             occupancy: OccupancySchedule::empty(),
             interzone_mixing_m3s: 0.04,
             initial_indoor: (Celsius::new(28.9), Celsius::new(27.4)),
@@ -183,6 +189,13 @@ impl PlantConfig {
     #[must_use]
     pub fn with_faults(mut self, faults: FaultSchedule) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Same lab with a sensor-fault script.
+    #[must_use]
+    pub fn with_sensor_faults(mut self, sensor_faults: SensorFaultSchedule) -> Self {
+        self.sensor_faults = sensor_faults;
         self
     }
 }
@@ -266,6 +279,12 @@ pub struct ThermalPlant {
     telemetry: StepTelemetry,
     meters: EnergyMeters,
     last_zone_inputs: [ZoneInputs; 4],
+    /// RNG for sensor-fault noise bursts (separate stream so fault
+    /// scenarios don't shift the healthy sensors' noise draws).
+    sensor_fault_rng: Rng,
+    /// Latched output per (target, channel) for stuck-at faults: the first
+    /// value read while the fault is active.
+    stuck_latch: std::collections::BTreeMap<(SensorTarget, u8), f64>,
     obs: bz_obs::Handle,
 }
 
@@ -293,6 +312,7 @@ impl ThermalPlant {
             recycle_flow_m3s: 0.0,
         }; 2];
         let instruments = Instruments::new(&mut rng);
+        let sensor_fault_rng = rng.fork();
         Self {
             radiant_chiller: TankChiller::new(config.radiant_chiller),
             vent_chiller: TankChiller::new(config.vent_chiller),
@@ -315,6 +335,8 @@ impl ThermalPlant {
             telemetry: StepTelemetry::default(),
             meters: EnergyMeters::default(),
             last_zone_inputs: Default::default(),
+            sensor_fault_rng,
+            stuck_latch: std::collections::BTreeMap::new(),
             obs: bz_obs::Handle::global(),
         }
     }
@@ -633,13 +655,45 @@ impl ThermalPlant {
 
     // --- Sensor interface (what the control boards see) --------------------
 
+    /// True if `target` is dropped out (produces no reading) right now.
+    /// Callers should skip sampling — and transmitting — a dropped-out
+    /// element, the way a mote skips a sensor that stops answering.
+    #[must_use]
+    pub fn sensor_dropped_out(&self, target: SensorTarget) -> bool {
+        self.config.sensor_faults.dropped_out(target, self.now)
+    }
+
+    /// Runs a clean reading through the sensor-fault schedule for
+    /// `target`/`channel` (0 = temperature/primary, 1 = humidity).
+    fn faulted(&mut self, target: SensorTarget, channel: u8, clean: f64) -> f64 {
+        let Some(event) = self.config.sensor_faults.active_for(target, self.now) else {
+            self.stuck_latch.remove(&(target, channel));
+            return clean;
+        };
+        match event.fault {
+            SensorFault::StuckAt => *self.stuck_latch.entry((target, channel)).or_insert(clean),
+            SensorFault::DriftRamp { per_hour } => {
+                let hours = self.now.since(event.at).as_secs_f64() / 3_600.0;
+                clean + per_hour * hours
+            }
+            // Dropout is handled by callers via `sensor_dropped_out`; if
+            // one reads anyway, it gets the clean value.
+            SensorFault::Dropout => clean,
+            SensorFault::NoiseBurst { sd } => clean + self.sensor_fault_rng.normal(0.0, sd),
+            SensorFault::CalibrationJump { offset } => clean + offset,
+        }
+    }
+
     /// Room SHT75 reading for a subspace: (temperature, relative humidity).
     pub fn read_room(&mut self, id: SubspaceId) -> (Celsius, Percent) {
         let state = self.zones[id.index()].state();
         let sensor = &mut self.instruments.room[id.index()];
+        let t = sensor.read_temp(state.temperature);
+        let rh = sensor.read_rh(state.relative_humidity());
+        let target = SensorTarget::Room(id.index());
         (
-            sensor.read_temp(state.temperature),
-            sensor.read_rh(state.relative_humidity()),
+            Celsius::new(self.faulted(target, 0, t.get())),
+            Percent::new(self.faulted(target, 1, rh.get())),
         )
     }
 
@@ -662,9 +716,12 @@ impl ThermalPlant {
                 ..state
             };
             let sensor = &mut self.instruments.ceiling[panel * 6 + k];
+            let t = sensor.read_temp(near.temperature);
+            let rh = sensor.read_rh(near.relative_humidity());
+            let target = SensorTarget::Ceiling(panel * 6 + k);
             readings.push((
-                sensor.read_temp(near.temperature),
-                sensor.read_rh(near.relative_humidity()),
+                Celsius::new(self.faulted(target, 0, t.get())),
+                Percent::new(self.faulted(target, 1, rh.get())),
             ));
         }
         readings
@@ -682,9 +739,12 @@ impl ThermalPlant {
             ..state
         };
         let sensor = &mut self.instruments.ceiling[panel * 6 + k];
+        let t = sensor.read_temp(near.temperature);
+        let rh = sensor.read_rh(near.relative_humidity());
+        let target = SensorTarget::Ceiling(panel * 6 + k);
         (
-            sensor.read_temp(near.temperature),
-            sensor.read_rh(near.relative_humidity()),
+            Celsius::new(self.faulted(target, 0, t.get())),
+            Percent::new(self.faulted(target, 1, rh.get())),
         )
     }
 
@@ -731,9 +791,12 @@ impl ThermalPlant {
     pub fn read_airbox_outlet(&mut self, airbox: usize) -> (Celsius, Percent) {
         let state = self.outlet_states[airbox];
         let sensor = &mut self.instruments.outlet[airbox];
+        let t = sensor.read_temp(state.temperature);
+        let rh = sensor.read_rh(state.relative_humidity());
+        let target = SensorTarget::Outlet(airbox);
         (
-            sensor.read_temp(state.temperature),
-            sensor.read_rh(state.relative_humidity()),
+            Celsius::new(self.faulted(target, 0, t.get())),
+            Percent::new(self.faulted(target, 1, rh.get())),
         )
     }
 
@@ -745,7 +808,8 @@ impl ThermalPlant {
     /// CO₂ reading for a subspace.
     pub fn read_co2(&mut self, id: SubspaceId) -> Ppm {
         let truth = self.zones[id.index()].state().co2;
-        self.instruments.co2[id.index()].read(truth)
+        let clean = self.instruments.co2[id.index()].read(truth);
+        Ppm::new(self.faulted(SensorTarget::Co2(id.index()), 0, clean.get()))
     }
 
     /// The coil pump model for an airbox (controllers need the
@@ -769,6 +833,97 @@ mod tests {
 
     fn lab() -> ThermalPlant {
         ThermalPlant::new(PlantConfig::bubble_zero_lab())
+    }
+
+    #[test]
+    fn stuck_ceiling_sensor_freezes_while_neighbours_keep_reading() {
+        use crate::sensors::{SensorFaultEvent, SensorFaultSchedule};
+        let schedule = SensorFaultSchedule::new(vec![SensorFaultEvent {
+            at: SimTime::ZERO,
+            repaired_at: Some(SimTime::from_secs(30)),
+            target: SensorTarget::Ceiling(2),
+            fault: SensorFault::StuckAt,
+        }]);
+        let mut plant =
+            ThermalPlant::new(PlantConfig::bubble_zero_lab().with_sensor_faults(schedule));
+        let commands = ActuatorCommands::all_off();
+        let first = plant.read_ceiling_sensor(0, 2);
+        let mut neighbour_moved = false;
+        for _ in 0..20 {
+            plant.step(SimDuration::from_secs(1), &commands);
+            let stuck = plant.read_ceiling_sensor(0, 2);
+            assert_eq!(stuck, first, "stuck sensor must freeze");
+            if plant.read_ceiling_sensor(0, 3) != first {
+                neighbour_moved = true;
+            }
+        }
+        assert!(neighbour_moved, "healthy neighbour should keep reading");
+        // After repair the sensor unfreezes (noise makes an exact repeat of
+        // the latched pair essentially impossible).
+        for _ in 0..15 {
+            plant.step(SimDuration::from_secs(1), &commands);
+        }
+        assert_ne!(plant.read_ceiling_sensor(0, 2), first);
+    }
+
+    #[test]
+    fn calibration_jump_and_drift_shift_readings() {
+        use crate::sensors::{SensorFaultEvent, SensorFaultSchedule};
+        let schedule = SensorFaultSchedule::new(vec![
+            SensorFaultEvent {
+                at: SimTime::ZERO,
+                repaired_at: None,
+                target: SensorTarget::Co2(1),
+                fault: SensorFault::CalibrationJump { offset: 400.0 },
+            },
+            SensorFaultEvent {
+                at: SimTime::ZERO,
+                repaired_at: None,
+                target: SensorTarget::Co2(2),
+                fault: SensorFault::DriftRamp { per_hour: 3_600.0 },
+            },
+        ]);
+        let mut faulty =
+            ThermalPlant::new(PlantConfig::bubble_zero_lab().with_sensor_faults(schedule));
+        let mut clean = lab();
+        let commands = ActuatorCommands::all_off();
+        for _ in 0..60 {
+            faulty.step(SimDuration::from_secs(1), &commands);
+            clean.step(SimDuration::from_secs(1), &commands);
+        }
+        let jumped = faulty.read_co2(SubspaceId::from_index(1)).get();
+        let reference = clean.read_co2(SubspaceId::from_index(1)).get();
+        assert!(
+            (jumped - reference - 400.0).abs() < 50.0,
+            "jump {jumped} vs {reference}"
+        );
+        // 3600 ppm/hour for 60 s ≈ +60 ppm of drift.
+        let drifted = faulty.read_co2(SubspaceId::from_index(2)).get();
+        let reference2 = clean.read_co2(SubspaceId::from_index(2)).get();
+        assert!(
+            (drifted - reference2 - 60.0).abs() < 50.0,
+            "drift {drifted} vs {reference2}"
+        );
+    }
+
+    #[test]
+    fn dropout_is_visible_to_the_sampling_layer() {
+        use crate::sensors::{SensorFaultEvent, SensorFaultSchedule};
+        let schedule = SensorFaultSchedule::new(vec![SensorFaultEvent {
+            at: SimTime::from_secs(10),
+            repaired_at: None,
+            target: SensorTarget::Room(0),
+            fault: SensorFault::Dropout,
+        }]);
+        let mut plant =
+            ThermalPlant::new(PlantConfig::bubble_zero_lab().with_sensor_faults(schedule));
+        assert!(!plant.sensor_dropped_out(SensorTarget::Room(0)));
+        let commands = ActuatorCommands::all_off();
+        for _ in 0..10 {
+            plant.step(SimDuration::from_secs(1), &commands);
+        }
+        assert!(plant.sensor_dropped_out(SensorTarget::Room(0)));
+        assert!(!plant.sensor_dropped_out(SensorTarget::Room(1)));
     }
 
     fn second() -> SimDuration {

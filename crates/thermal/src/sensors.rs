@@ -8,7 +8,7 @@
 //! per-reading noise, then quantizes to the part's resolution.
 
 use bz_psychro::{Celsius, Percent, Ppm};
-use bz_simcore::Rng;
+use bz_simcore::{Rng, SimTime};
 
 /// Quantizes `value` to steps of `step`.
 fn quantize(value: f64, step: f64) -> f64 {
@@ -177,6 +177,148 @@ impl FlowSensor {
     }
 }
 
+/// The sensing element a [`SensorFault`] attaches to. These are the
+/// WSN-attached sensors — the ones a controller can only reach over the
+/// air, where the paper's §V field failures happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SensorTarget {
+    /// Ceiling SHT75 `k` (0–11; panel = `k / 6`).
+    Ceiling(usize),
+    /// Room SHT75 of subspace `s` (0–3).
+    Room(usize),
+    /// CO₂ sensor of subspace `s` (0–3).
+    Co2(usize),
+    /// Airbox outlet SHT75 of subspace `a` (0–3).
+    Outlet(usize),
+}
+
+/// A sensing-element malfunction. A fault corrupts every channel of its
+/// target (an SHT75's temperature and humidity share the die and the
+/// cabling, so they fail together).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SensorFault {
+    /// Output freezes at the first value read while the fault is active.
+    StuckAt,
+    /// Output drifts linearly away from truth at `per_hour` units/hour.
+    DriftRamp {
+        /// Drift rate in the channel's native unit per hour.
+        per_hour: f64,
+    },
+    /// The element stops answering entirely: no reading, no packet.
+    Dropout,
+    /// Gaussian noise far above the datasheet level.
+    NoiseBurst {
+        /// Extra noise standard deviation in the channel's native unit.
+        sd: f64,
+    },
+    /// A step offset (connector knocked loose, recalibration gone wrong).
+    CalibrationJump {
+        /// Offset in the channel's native unit.
+        offset: f64,
+    },
+}
+
+impl SensorFault {
+    /// Stable name for metric keys (`fault.<kind>.active`).
+    #[must_use]
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Self::StuckAt => "sensor_stuck_at",
+            Self::DriftRamp { .. } => "sensor_drift_ramp",
+            Self::Dropout => "sensor_dropout",
+            Self::NoiseBurst { .. } => "sensor_noise_burst",
+            Self::CalibrationJump { .. } => "sensor_calibration_jump",
+        }
+    }
+
+    /// Content-based tie-break ordering (see
+    /// [`SensorFaultSchedule::active_for`]).
+    fn sort_key(&self) -> (u8, u64) {
+        match *self {
+            Self::StuckAt => (0, 0),
+            Self::DriftRamp { per_hour } => (1, per_hour.to_bits()),
+            Self::Dropout => (2, 0),
+            Self::NoiseBurst { sd } => (3, sd.to_bits()),
+            Self::CalibrationJump { offset } => (4, offset.to_bits()),
+        }
+    }
+}
+
+/// One scheduled sensor fault window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SensorFaultEvent {
+    /// When the fault appears.
+    pub at: SimTime,
+    /// When it is repaired (`None` = never).
+    pub repaired_at: Option<SimTime>,
+    /// Which sensing element breaks.
+    pub target: SensorTarget,
+    /// How it breaks.
+    pub fault: SensorFault,
+}
+
+impl SensorFaultEvent {
+    /// True if the fault is active at `now`.
+    #[must_use]
+    pub fn is_active(&self, now: SimTime) -> bool {
+        now >= self.at && self.repaired_at.is_none_or(|r| now < r)
+    }
+}
+
+/// A deterministic sensor-fault schedule, mirroring
+/// [`FaultSchedule`](crate::faults::FaultSchedule) for actuators.
+#[derive(Debug, Clone, Default)]
+pub struct SensorFaultSchedule {
+    events: Vec<SensorFaultEvent>,
+}
+
+impl SensorFaultSchedule {
+    /// Builds a schedule from events.
+    #[must_use]
+    pub fn new(events: Vec<SensorFaultEvent>) -> Self {
+        Self { events }
+    }
+
+    /// No faults.
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// The scheduled events.
+    #[must_use]
+    pub fn events(&self) -> &[SensorFaultEvent] {
+        &self.events
+    }
+
+    /// True if any fault is active at `now`.
+    #[must_use]
+    pub fn any_active(&self, now: SimTime) -> bool {
+        self.events.iter().any(|e| e.is_active(now))
+    }
+
+    /// The fault governing `target` at `now`. Overlapping windows resolve
+    /// to the one scheduled last (greatest `at`); same-instant ties break
+    /// by a content-based ordering, so the answer never depends on the
+    /// order events were pushed into the schedule.
+    #[must_use]
+    pub fn active_for(&self, target: SensorTarget, now: SimTime) -> Option<&SensorFaultEvent> {
+        self.events
+            .iter()
+            .filter(|e| e.target == target && e.is_active(now))
+            .max_by_key(|e| (e.at, e.fault.sort_key()))
+    }
+
+    /// True if `target` is dropped out (produces no reading) at `now`.
+    #[must_use]
+    pub fn dropped_out(&self, target: SensorTarget, now: SimTime) -> bool {
+        matches!(
+            self.active_for(target, now).map(|e| e.fault),
+            Some(SensorFault::Dropout)
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -271,6 +413,61 @@ mod tests {
         for _ in 0..50 {
             assert_eq!(sensor.read(0.0), 0.0);
         }
+    }
+
+    #[test]
+    fn sensor_fault_schedule_windows_and_overlap_resolution() {
+        let target = SensorTarget::Ceiling(2);
+        let early = SensorFaultEvent {
+            at: SimTime::from_mins(5),
+            repaired_at: Some(SimTime::from_mins(30)),
+            target,
+            fault: SensorFault::CalibrationJump { offset: 1.0 },
+        };
+        let late = SensorFaultEvent {
+            at: SimTime::from_mins(10),
+            repaired_at: None,
+            target,
+            fault: SensorFault::StuckAt,
+        };
+        for events in [vec![early, late], vec![late, early]] {
+            let schedule = SensorFaultSchedule::new(events);
+            assert_eq!(schedule.active_for(target, SimTime::from_mins(1)), None);
+            assert_eq!(
+                schedule
+                    .active_for(target, SimTime::from_mins(7))
+                    .unwrap()
+                    .fault,
+                SensorFault::CalibrationJump { offset: 1.0 }
+            );
+            // Both active: the later-scheduled fault governs.
+            assert_eq!(
+                schedule
+                    .active_for(target, SimTime::from_mins(20))
+                    .unwrap()
+                    .fault,
+                SensorFault::StuckAt
+            );
+            assert_eq!(
+                schedule.active_for(SensorTarget::Room(0), SimTime::from_mins(20)),
+                None
+            );
+        }
+    }
+
+    #[test]
+    fn dropout_is_queryable() {
+        let target = SensorTarget::Room(3);
+        let schedule = SensorFaultSchedule::new(vec![SensorFaultEvent {
+            at: SimTime::from_mins(1),
+            repaired_at: Some(SimTime::from_mins(2)),
+            target,
+            fault: SensorFault::Dropout,
+        }]);
+        assert!(!schedule.dropped_out(target, SimTime::ZERO));
+        assert!(schedule.dropped_out(target, SimTime::from_mins(1)));
+        assert!(!schedule.dropped_out(target, SimTime::from_mins(2)));
+        assert!(!schedule.dropped_out(SensorTarget::Room(2), SimTime::from_mins(1)));
     }
 
     #[test]

@@ -1,0 +1,124 @@
+//! Property tests: [`FaultSchedule::apply`] must be a pure function of
+//! the *set* of scheduled events — never of the order they were pushed —
+//! so chaos scenarios parsed from JSON behave identically however the
+//! file lists its faults.
+
+use bz_psychro::Volts;
+use bz_simcore::SimTime;
+use bz_thermal::airbox::FanLevel;
+use bz_thermal::faults::{ActuatorFault, FaultEvent, FaultSchedule};
+use bz_thermal::plant::{ActuatorCommands, AirboxActuation, RadiantLoopCommand};
+use proptest::prelude::*;
+
+fn live_commands() -> ActuatorCommands {
+    ActuatorCommands {
+        radiant: [RadiantLoopCommand {
+            supply_voltage: Volts::new(3.0),
+            recycle_voltage: Volts::new(2.0),
+        }; 2],
+        airboxes: [AirboxActuation {
+            coil_pump_voltage: Volts::new(4.0),
+            fan: FanLevel::L3,
+            flap_open: true,
+        }; 4],
+    }
+}
+
+/// Decodes one generated tuple into a fault event. `repair_offset_s` of
+/// zero means the fault is permanent.
+fn decode(kind: u8, index: usize, level: u8, at_s: u64, repair_offset_s: u64) -> FaultEvent {
+    let level = match level % 5 {
+        0 => FanLevel::Off,
+        1 => FanLevel::L1,
+        2 => FanLevel::L2,
+        3 => FanLevel::L3,
+        _ => FanLevel::L4,
+    };
+    let fault = match kind % 5 {
+        0 => ActuatorFault::FanStuck {
+            airbox: index % 4,
+            level,
+        },
+        1 => ActuatorFault::CoilPumpDead { airbox: index % 4 },
+        2 => ActuatorFault::SupplyPumpDead { panel: index % 2 },
+        3 => ActuatorFault::RecyclePumpDead { panel: index % 2 },
+        _ => ActuatorFault::FlapJammedClosed { airbox: index % 4 },
+    };
+    FaultEvent {
+        at: SimTime::from_secs(at_s),
+        repaired_at: (repair_offset_s > 0).then(|| SimTime::from_secs(at_s + repair_offset_s)),
+        fault,
+    }
+}
+
+proptest! {
+    #[test]
+    fn apply_is_invariant_under_event_permutation(
+        raw in proptest::collection::vec(
+            (0u8..5, 0usize..4, 0u8..5, 0u64..7_200, 0u64..3_600),
+            0..12,
+        ),
+        probe_s in 0u64..10_800,
+        rotation in 0usize..12,
+    ) {
+        let events: Vec<FaultEvent> = raw
+            .iter()
+            .map(|&(kind, index, level, at_s, repair)| decode(kind, index, level, at_s, repair))
+            .collect();
+        let commands = live_commands();
+        let now = SimTime::from_secs(probe_s);
+        let baseline = FaultSchedule::new(events.clone()).apply(&commands, now);
+
+        let mut reversed = events.clone();
+        reversed.reverse();
+        prop_assert_eq!(
+            FaultSchedule::new(reversed).apply(&commands, now),
+            baseline
+        );
+
+        let mut rotated = events.clone();
+        if !rotated.is_empty() {
+            let mid = rotation % rotated.len();
+            rotated.rotate_left(mid);
+        }
+        prop_assert_eq!(
+            FaultSchedule::new(rotated).apply(&commands, now),
+            baseline
+        );
+    }
+
+    #[test]
+    fn apply_never_invents_actuation(
+        raw in proptest::collection::vec(
+            (0u8..5, 0usize..4, 0u8..5, 0u64..7_200, 0u64..3_600),
+            0..12,
+        ),
+        probe_s in 0u64..10_800,
+    ) {
+        // A fault can only *suppress* or *pin* an actuator: pump voltages
+        // never exceed the commanded ones, and a schedule with no active
+        // window is an exact pass-through.
+        let events: Vec<FaultEvent> = raw
+            .iter()
+            .map(|&(kind, index, level, at_s, repair)| decode(kind, index, level, at_s, repair))
+            .collect();
+        let schedule = FaultSchedule::new(events);
+        let commands = live_commands();
+        let now = SimTime::from_secs(probe_s);
+        let effective = schedule.apply(&commands, now);
+        if !schedule.any_active(now) {
+            prop_assert_eq!(effective, commands);
+        } else {
+            for (applied, commanded) in effective.radiant.iter().zip(commands.radiant.iter()) {
+                prop_assert!(applied.supply_voltage.get() <= commanded.supply_voltage.get());
+                prop_assert!(applied.recycle_voltage.get() <= commanded.recycle_voltage.get());
+            }
+            for (applied, commanded) in effective.airboxes.iter().zip(commands.airboxes.iter()) {
+                prop_assert!(
+                    applied.coil_pump_voltage.get() <= commanded.coil_pump_voltage.get()
+                );
+                prop_assert!(commanded.flap_open || !applied.flap_open);
+            }
+        }
+    }
+}

@@ -10,6 +10,7 @@
 
 use bz_simcore::{Rng, SimDuration, SimTime};
 
+use crate::faults::WsnFaultSchedule;
 use crate::message::Message;
 
 /// Channel and MAC parameters.
@@ -139,6 +140,7 @@ pub struct Network {
     in_flight: Vec<Flight>,
     stats: ChannelStats,
     failures: Vec<(Message, TxFailure)>,
+    faults: WsnFaultSchedule,
     obs: bz_obs::Handle,
 }
 
@@ -153,6 +155,7 @@ impl Network {
             in_flight: Vec::new(),
             stats: ChannelStats::default(),
             failures: Vec::new(),
+            faults: WsnFaultSchedule::none(),
             obs: bz_obs::Handle::global(),
         }
     }
@@ -162,6 +165,19 @@ impl Network {
     pub fn with_obs(mut self, obs: bz_obs::Handle) -> Self {
         self.obs = obs;
         self
+    }
+
+    /// Installs a network fault schedule (dead motes, degraded links).
+    #[must_use]
+    pub fn with_faults(mut self, faults: WsnFaultSchedule) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// The installed fault schedule.
+    #[must_use]
+    pub fn faults(&self) -> &WsnFaultSchedule {
+        &self.faults
     }
 
     /// The configuration in use.
@@ -181,6 +197,14 @@ impl Network {
     /// fading — resolves when [`Network::advance`] passes its end time),
     /// `false` if the backoff budget was exhausted.
     pub fn send(&mut self, now: SimTime, message: Message) -> bool {
+        // A dead mote has no radio: the frame vanishes before it touches
+        // the medium. No failure report either — nothing observes its own
+        // death, which is exactly why the controller side needs a
+        // staleness supervisor.
+        if self.faults.node_dead(message.source(), now) {
+            self.obs.counter_inc("wsn.packets.dropped_dead_node");
+            return false;
+        }
         self.stats.offered += 1;
         self.obs.counter_inc("wsn.packets.sent");
         let airtime = self.config.airtime(message.payload_bytes());
@@ -228,7 +252,15 @@ impl Network {
                 corrupted = true;
             }
         }
-        let faded = self.rng.chance(self.config.residual_loss);
+        let mut faded = self.rng.chance(self.config.residual_loss);
+        // Per-link loss elevation (antenna knocked, mote moved): an extra
+        // independent loss draw on top of the channel-wide residual. The
+        // elevation is the max over active fault windows, so event order
+        // never matters.
+        let extra_loss = self.faults.link_loss(message.source(), now);
+        if !faded && extra_loss > 0.0 {
+            faded = self.rng.chance(extra_loss);
+        }
         self.in_flight.push(Flight {
             start: candidate,
             end,
@@ -450,6 +482,60 @@ mod tests {
         let failures = net.take_failures();
         assert_eq!(failures.len(), 1);
         assert_eq!(failures[0].1, TxFailure::ChannelBusy);
+    }
+
+    #[test]
+    fn dead_node_frames_vanish_without_failure_reports() {
+        use crate::faults::{WsnFault, WsnFaultEvent, WsnFaultSchedule};
+        let faults = WsnFaultSchedule::new(vec![WsnFaultEvent {
+            at: SimTime::from_secs(10),
+            repaired_at: None,
+            fault: WsnFault::NodeDead {
+                node: NodeId::new(1),
+            },
+        }]);
+        let mut net = Network::new(lossless(), Rng::seed_from(11)).with_faults(faults);
+        // Before death: delivered normally.
+        assert!(net.send(SimTime::ZERO, msg(1, SimTime::ZERO)));
+        // After death: silently dropped, not even offered.
+        assert!(!net.send(SimTime::from_secs(10), msg(1, SimTime::from_secs(10))));
+        // Other nodes unaffected.
+        assert!(net.send(SimTime::from_secs(10), msg(2, SimTime::from_secs(10))));
+        let out = net.advance(SimTime::from_secs(20));
+        assert_eq!(out.len(), 2);
+        assert_eq!(net.stats().offered, 2);
+        assert!(net.take_failures().is_empty(), "death is silent");
+    }
+
+    #[test]
+    fn link_loss_elevation_hits_only_the_degraded_node() {
+        use crate::faults::{WsnFault, WsnFaultEvent, WsnFaultSchedule};
+        let faults = WsnFaultSchedule::new(vec![WsnFaultEvent {
+            at: SimTime::ZERO,
+            repaired_at: None,
+            fault: WsnFault::LinkLoss {
+                node: NodeId::new(1),
+                loss: 0.8,
+            },
+        }]);
+        let mut net = Network::new(lossless(), Rng::seed_from(12)).with_faults(faults);
+        for i in 0..500u64 {
+            let t = SimTime::from_millis(i * 40);
+            net.send(t, msg(1, t));
+            net.send(t + SimDuration::from_millis(20), msg(2, t));
+        }
+        let out = net.advance(SimTime::from_secs(60));
+        let from_degraded = out
+            .iter()
+            .filter(|d| d.message.source() == NodeId::new(1))
+            .count();
+        let from_healthy = out
+            .iter()
+            .filter(|d| d.message.source() == NodeId::new(2))
+            .count();
+        let ratio = from_degraded as f64 / 500.0;
+        assert!((ratio - 0.2).abs() < 0.06, "degraded ratio {ratio}");
+        assert_eq!(from_healthy, 500, "healthy node sees no extra loss");
     }
 
     #[test]

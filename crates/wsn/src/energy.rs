@@ -157,6 +157,13 @@ impl EnergyLedger {
         self.consumed_j
     }
 
+    /// True once the accounted consumption exceeds the usable battery
+    /// energy — the mote browns out and goes silent until a battery swap.
+    #[must_use]
+    pub fn exhausted(&self) -> bool {
+        self.consumed_j >= self.model.battery_j
+    }
+
     /// Transmissions recorded.
     #[must_use]
     pub fn transmissions(&self) -> u64 {

@@ -44,9 +44,11 @@ pub mod adaptive;
 pub mod aggregate;
 pub mod channel;
 pub mod energy;
+pub mod faults;
 pub mod histogram;
 pub mod message;
 pub mod multihop;
 pub mod platform;
+pub mod retry;
 pub mod sniffer;
 pub mod timesync;

@@ -69,6 +69,19 @@ impl DataType {
         Self::Actuation,
     ];
 
+    /// True for control-plane types: computed values and commands the
+    /// control loops depend on, as opposed to periodic sensor samples. A
+    /// lost sample is replaced by the next one a few seconds later, so
+    /// data-plane sends stay fire-and-forget (the paper's plain CSMA
+    /// behaviour); control-plane sends are worth a bounded retry.
+    #[must_use]
+    pub fn is_control_plane(self) -> bool {
+        matches!(
+            self,
+            Self::SupplyTemperature | Self::OutletDewPoint | Self::ControlTarget | Self::Actuation
+        )
+    }
+
     /// Application payload size for this type, bytes (type tag, source
     /// channel index, timestamp, and an IEEE-754 value).
     #[must_use]

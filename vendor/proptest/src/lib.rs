@@ -106,7 +106,7 @@ pub mod strategy {
             }
         )*};
     }
-    impl_int_range!(u16, u32, u64, usize);
+    impl_int_range!(u8, u16, u32, u64, usize);
 
     macro_rules! impl_tuple {
         ($($name:ident : $idx:tt),+) => {
@@ -122,6 +122,7 @@ pub mod strategy {
     impl_tuple!(A: 0, B: 1);
     impl_tuple!(A: 0, B: 1, C: 2);
     impl_tuple!(A: 0, B: 1, C: 2, D: 3);
+    impl_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
 
     /// Strategy producing `Vec`s of another strategy's values.
     #[derive(Debug, Clone)]
