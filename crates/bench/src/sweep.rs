@@ -29,8 +29,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use bz_core::system::{BtMode, BubbleZeroSystem, SystemConfig};
-use bz_simcore::{Rng, SimDuration};
+use bz_predict::strategy::{MpcConfig, MpcStrategy};
+use bz_simcore::{Rng, SimDuration, SimTime};
 use bz_thermal::disturbance::DisturbanceSchedule;
+use bz_thermal::occupancy::{OccupancyChange, OccupancySchedule};
 use bz_thermal::plant::PlantConfig;
 use bz_thermal::zone::SubspaceId;
 
@@ -80,7 +82,14 @@ pub const GRID_KEYS: &[&str] = &[
     "control-period-s",
     "residual-loss",
     "bt-fixed",
+    "occupancy-rate",
+    "weather-seed",
+    "strategy",
 ];
+
+/// Occupancy period used by the `occupancy-rate` grid axis, s — the same
+/// 90-minute cadence as the bundled `bzctl mpc` office scenario.
+pub const OCCUPANCY_PERIOD_S: f64 = 5_400.0;
 
 /// One point of a parameter grid: `(key, value)` pairs in spec order.
 pub type GridPoint = Vec<(String, String)>;
@@ -207,6 +216,8 @@ pub struct RunSummary {
     pub delivery_pct: f64,
     /// Packets offered to the channel.
     pub packets_sent: u64,
+    /// Total electrical energy (chillers + pumps + fans), kJ.
+    pub energy_kj: f64,
 }
 
 /// The outcome of one run: its summary plus the full per-run metrics
@@ -229,7 +240,49 @@ pub struct RunResult {
     pub metrics_jsonl: Vec<u8>,
 }
 
-fn apply_params(config: &mut SystemConfig, params: &GridPoint) -> Result<(), String> {
+/// Builds the repeating occupancy schedule for the `occupancy-rate` axis:
+/// every subspace holds two people for the first `rate` fraction of each
+/// [`OCCUPANCY_PERIOD_S`] period over the run.
+fn occupancy_for_rate(rate: f64, minutes: u64) -> OccupancySchedule {
+    let total_s = minutes as f64 * 60.0;
+    let occupied_s = rate * OCCUPANCY_PERIOD_S;
+    let mut changes = Vec::new();
+    let periods = (total_s / OCCUPANCY_PERIOD_S).ceil() as u64;
+    for p in 0..periods {
+        let base = p as f64 * OCCUPANCY_PERIOD_S;
+        for subspace in SubspaceId::ALL {
+            for (at, count) in [(base, 2), (base + occupied_s, 0)] {
+                if at < total_s && occupied_s > 0.0 {
+                    changes.push(OccupancyChange {
+                        at: SimTime::ZERO + SimDuration::from_secs_f64(at),
+                        subspace,
+                        count,
+                    });
+                }
+            }
+        }
+    }
+    OccupancySchedule::new(changes)
+}
+
+/// The strategy a run's grid point selects: `None` for the reactive
+/// baseline (also the default), `Some` for the MPC layer.
+fn strategy_of(params: &GridPoint) -> Result<Option<MpcConfig>, String> {
+    for (key, value) in params {
+        if key == "strategy" {
+            return match value.as_str() {
+                "reactive" => Ok(None),
+                "mpc" => Ok(Some(MpcConfig::office())),
+                other => Err(format!(
+                    "grid value '{other}' for 'strategy' is not reactive or mpc"
+                )),
+            };
+        }
+    }
+    Ok(None)
+}
+
+fn apply_params(config: &mut SystemConfig, params: &GridPoint, minutes: u64) -> Result<(), String> {
     for (key, value) in params {
         let parse_f64 = || -> Result<f64, String> {
             value
@@ -259,6 +312,27 @@ fn apply_params(config: &mut SystemConfig, params: &GridPoint) -> Result<(), Str
                     }
                 };
             }
+            "occupancy-rate" => {
+                let rate = parse_f64()?;
+                if !(0.0..=1.0).contains(&rate) {
+                    return Err("occupancy-rate must be within 0..=1".to_owned());
+                }
+                config.plant.occupancy = occupancy_for_rate(rate, minutes);
+            }
+            "weather-seed" => {
+                // Re-seeds the plant environment stream (weather wander +
+                // sensor noise) independently of the run seed, so climate
+                // realizations can be swept while the WSN stays fixed.
+                let seed: u64 = value
+                    .parse()
+                    .map_err(|_| format!("grid value '{value}' for '{key}' is not an integer"))?;
+                config.plant.seed = seed;
+            }
+            // Validated by `strategy_of`; selects the controller, not a
+            // config field.
+            "strategy" => {
+                strategy_of(params)?;
+            }
             other => return Err(format!("unknown grid key '{other}'")),
         }
     }
@@ -286,8 +360,23 @@ fn build_system(spec: &RunSpec, obs: bz_obs::Handle) -> Result<BubbleZeroSystem,
         seed: spec.seed,
         ..SystemConfig::paper_deployment(plant)
     };
-    apply_params(&mut config, &spec.params)?;
-    Ok(BubbleZeroSystem::with_obs(config, obs))
+    apply_params(&mut config, &spec.params, spec.minutes)?;
+    let system = match strategy_of(&spec.params)? {
+        Some(mpc) => {
+            let strategy_obs = obs.clone();
+            let strategy_config = config.clone();
+            BubbleZeroSystem::with_strategy(config, obs, move |reactive| {
+                Box::new(MpcStrategy::new(
+                    reactive,
+                    mpc,
+                    &strategy_config,
+                    strategy_obs,
+                ))
+            })
+        }
+        None => BubbleZeroSystem::with_obs(config, obs),
+    };
+    Ok(system)
 }
 
 /// Executes one run against a fresh isolated registry.
@@ -308,12 +397,18 @@ pub fn run_one(spec: &RunSpec) -> Result<RunResult, String> {
         .map_err(|e| format!("metrics export failed: {e}"))?;
     let plant = system.plant();
     let stats = system.network().stats();
+    let meters = plant.meters();
+    let energy_j = meters.radiant_chiller.get()
+        + meters.vent_chiller.get()
+        + meters.pumps.get()
+        + meters.fans.get();
     let summary = RunSummary {
         t_end_c: plant.zone_temperature(SubspaceId::S1).get(),
         dew_end_c: plant.zone_dew_point(SubspaceId::S1).get(),
         condensate_kg: plant.panel_condensate_total(),
         delivery_pct: 100.0 * stats.delivery_ratio(),
         packets_sent: stats.offered,
+        energy_kj: energy_j / 1_000.0,
     };
     Ok(RunResult {
         index: spec.index,
@@ -375,12 +470,13 @@ fn ordered(results: &[RunResult]) -> Vec<&RunResult> {
 #[must_use]
 pub fn report_csv(results: &[RunResult]) -> String {
     let mut out = String::from(
-        "run,label,scenario,seed,params,t_end_c,dew_end_c,condensate_kg,delivery_pct,packets_sent\n",
+        "run,label,scenario,seed,params,t_end_c,dew_end_c,condensate_kg,delivery_pct,\
+         packets_sent,energy_kj\n",
     );
     for r in ordered(results) {
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{:.6},{:.6},{:.9},{:.3},{}",
+            "{},{},{},{},{},{:.6},{:.6},{:.9},{:.3},{},{:.3}",
             r.index,
             r.label,
             r.scenario,
@@ -391,6 +487,7 @@ pub fn report_csv(results: &[RunResult]) -> String {
             r.summary.condensate_kg,
             r.summary.delivery_pct,
             r.summary.packets_sent,
+            r.summary.energy_kj,
         );
     }
     out
@@ -406,7 +503,7 @@ pub fn report_jsonl(results: &[RunResult]) -> String {
             out,
             "{{\"run\":{},\"label\":\"{}\",\"scenario\":\"{}\",\"seed\":{},\"params\":\"{}\",\
              \"t_end_c\":{:.6},\"dew_end_c\":{:.6},\"condensate_kg\":{:.9},\
-             \"delivery_pct\":{:.3},\"packets_sent\":{}}}",
+             \"delivery_pct\":{:.3},\"packets_sent\":{},\"energy_kj\":{:.3}}}",
             r.index,
             r.label,
             r.scenario,
@@ -417,34 +514,68 @@ pub fn report_jsonl(results: &[RunResult]) -> String {
             r.summary.condensate_kg,
             r.summary.delivery_pct,
             r.summary.packets_sent,
+            r.summary.energy_kj,
         );
     }
     out
 }
 
+/// The run's `strategy` grid value (if any) and the rest of its identity
+/// — scenario, seed, and every other parameter — as a grouping key. Runs
+/// sharing a key differ only in strategy, so their energies compare.
+fn strategy_split(r: &RunResult) -> (Option<String>, String) {
+    let mut strategy = None;
+    let rest: Vec<&str> = r
+        .params
+        .split(';')
+        .filter(|p| !p.is_empty())
+        .filter(|p| match p.strip_prefix("strategy=") {
+            Some(value) => {
+                strategy = Some(value.to_owned());
+                false
+            }
+            None => true,
+        })
+        .collect();
+    let key = format!("{}-s{:04} {}", r.scenario, r.seed, rest.join(";"));
+    (strategy, key)
+}
+
 /// Renders the human-readable sweep summary table, sorted by run index,
-/// with per-scenario means at the bottom.
+/// with per-scenario means at the bottom. When the grid sweeps a
+/// `strategy` axis, runs that differ only in strategy are paired against
+/// the reactive baseline and their energy deltas reported.
 #[must_use]
 pub fn summary_table(results: &[RunResult]) -> String {
     let mut out = format!(
-        "{:>4}  {:<44} {:>9} {:>9} {:>10} {:>8}\n",
-        "run", "label", "T end °C", "dew °C", "delivery%", "packets"
+        "{:>4}  {:<44} {:>9} {:>9} {:>10} {:>8} {:>11}\n",
+        "run", "label", "T end °C", "dew °C", "delivery%", "packets", "energy kJ"
     );
     let mut by_scenario: BTreeMap<&str, (f64, usize)> = BTreeMap::new();
+    let mut baselines: BTreeMap<String, f64> = BTreeMap::new();
+    let mut variants: Vec<(String, String, f64)> = Vec::new();
     for r in ordered(results) {
         let _ = writeln!(
             out,
-            "{:>4}  {:<44} {:>9.2} {:>9.2} {:>10.1} {:>8}",
+            "{:>4}  {:<44} {:>9.2} {:>9.2} {:>10.1} {:>8} {:>11.1}",
             r.index,
             r.label,
             r.summary.t_end_c,
             r.summary.dew_end_c,
             r.summary.delivery_pct,
             r.summary.packets_sent,
+            r.summary.energy_kj,
         );
         let entry = by_scenario.entry(r.scenario).or_insert((0.0, 0));
         entry.0 += r.summary.delivery_pct;
         entry.1 += 1;
+        match strategy_split(r) {
+            (Some(strategy), key) if strategy == "reactive" => {
+                baselines.insert(key, r.summary.energy_kj);
+            }
+            (Some(strategy), key) => variants.push((key, strategy, r.summary.energy_kj)),
+            (None, _) => {}
+        }
     }
     for (scenario, (delivery_sum, count)) in by_scenario {
         let _ = writeln!(
@@ -452,6 +583,15 @@ pub fn summary_table(results: &[RunResult]) -> String {
             "mean delivery over {count} {scenario} run(s): {:.1}%",
             delivery_sum / count as f64
         );
+    }
+    for (key, strategy, energy_kj) in variants {
+        if let Some(baseline_kj) = baselines.get(&key) {
+            let _ = writeln!(
+                out,
+                "energy delta {strategy} vs reactive [{key}]: {:+.1} kJ",
+                energy_kj - baseline_kj
+            );
+        }
     }
     out
 }
@@ -505,14 +645,73 @@ mod tests {
 
     #[test]
     fn bad_grid_values_error_at_run_time() {
-        let spec = RunSpec {
+        let spec = |key: &str, value: &str| RunSpec {
             index: 0,
             scenario: Scenario::Trial,
             seed: 1,
             minutes: 1,
-            params: vec![("bt-fixed".to_owned(), "maybe".to_owned())],
+            params: vec![(key.to_owned(), value.to_owned())],
         };
-        assert!(run_one(&spec).is_err());
+        assert!(run_one(&spec("bt-fixed", "maybe")).is_err());
+        assert!(run_one(&spec("occupancy-rate", "1.5")).is_err());
+        assert!(run_one(&spec("weather-seed", "not-a-seed")).is_err());
+        assert!(run_one(&spec("strategy", "clairvoyant")).is_err());
+    }
+
+    #[test]
+    fn new_axes_parse_and_expand() {
+        let grid =
+            parse_grid("occupancy-rate=0.0,0.5;weather-seed=1,2;strategy=reactive,mpc").unwrap();
+        assert_eq!(grid.len(), 8);
+    }
+
+    #[test]
+    fn occupancy_rate_schedule_covers_the_requested_fraction() {
+        let schedule = occupancy_for_rate(0.5, 180);
+        let probe = |at_s: f64| {
+            schedule.headcount(
+                SubspaceId::S1,
+                SimTime::ZERO + SimDuration::from_secs_f64(at_s),
+            )
+        };
+        assert_eq!(probe(60.0), 2, "occupied at the start of each period");
+        assert_eq!(
+            probe(OCCUPANCY_PERIOD_S * 0.5 + 60.0),
+            0,
+            "empty after the window"
+        );
+        assert_eq!(probe(OCCUPANCY_PERIOD_S + 60.0), 2, "the pattern repeats");
+        let empty = occupancy_for_rate(0.0, 180);
+        assert_eq!(
+            empty.headcount(
+                SubspaceId::S1,
+                SimTime::ZERO + SimDuration::from_secs_f64(60.0)
+            ),
+            0,
+            "rate 0 schedules nobody"
+        );
+    }
+
+    #[test]
+    fn strategy_axis_pairs_runs_and_reports_energy_delta() {
+        let spec = SweepSpec {
+            scenario: Scenario::Trial,
+            seeds: vec![3],
+            minutes: 1,
+            grid: parse_grid("strategy=reactive,mpc").unwrap(),
+        };
+        let results: Vec<RunResult> = execute(&spec.expand(), 2)
+            .into_iter()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(results.len(), 2);
+        let table = summary_table(&results);
+        assert!(
+            table.contains("energy delta mpc vs reactive"),
+            "missing delta line:\n{table}"
+        );
+        assert!(report_csv(&results).contains("energy_kj"));
+        assert!(report_jsonl(&results).contains("\"energy_kj\":"));
     }
 
     #[test]
@@ -529,6 +728,7 @@ mod tests {
                 condensate_kg: 0.0,
                 delivery_pct: 99.0,
                 packets_sent: 10,
+                energy_kj: 120.0,
             },
             metrics_jsonl: Vec::new(),
         };

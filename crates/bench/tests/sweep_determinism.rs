@@ -85,6 +85,7 @@ fn synthetic_results(n: usize) -> Vec<RunResult> {
                 condensate_kg: index as f64 * 1e-6,
                 delivery_pct: 99.0 - index as f64 * 0.5,
                 packets_sent: 1000 + index as u64,
+                energy_kj: 150.0 + index as f64 * 2.0,
             },
             metrics_jsonl: format!("{{\"run\":{index}}}\n").into_bytes(),
         })

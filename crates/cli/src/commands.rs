@@ -43,15 +43,21 @@ COMMANDS:
     sniff      run with a sniffer attached and dump the capture
                  --minutes N (10)  --csv PATH  --metrics-out PATH
     endurance  long continuous run with periodic events
-                 --days N (1)  --metrics-out PATH
+                 --days N (1)  --metrics-out PATH  --stream
     sweep      parallel batch of independent scenario runs
                  --scenario trial|network|endurance (trial)
                  --runs N (4)  --seed-base S  --minutes N (5)
                  --grid \"key=v1,v2;key2=v3\"  --jobs N (1)
                  --out-dir DIR  --metrics-out PATH  --quiet
+                 grid keys: dew-margin-k control-period-s residual-loss
+                 bt-fixed occupancy-rate weather-seed strategy
     chaos      full-stack fault-injection run with a resilience report
                  --scenario PATH (bundled)  --minutes N  --seed S
                  --metrics-out PATH
+    mpc        occupancy-aware model-predictive control (bz-predict)
+                 --scenario PATH (bundled office)  --minutes N  --seed S
+                 --horizon N (15)  --compare  --jobs N (1)
+                 --metrics-out PATH  --flamegraph-out PATH  --quiet
     help       print this text
 
 `--metrics-out PATH` enables the bz-obs telemetry layer for the run and
@@ -59,9 +65,16 @@ writes the collected metrics to PATH — JSONL by default, CSV when PATH
 ends in `.csv` (see docs/OBSERVABILITY.md). The export is deterministic:
 two runs with the same seed produce byte-identical files.
 
+`--flamegraph-out PATH` additionally folds the run's span tree into
+collapsed-stack lines (`core.step_second;core.control_tick 1234`) ready
+for flamegraph tooling; `endurance --stream` writes metric events
+through to `--metrics-out` as they happen instead of buffering them.
+
 `sweep` executes every run against an isolated metrics registry on a
 work-stealing thread pool; `--out-dir` writes one `run-NNN.jsonl` per
 run and `--metrics-out` writes the merged report. Per-run files are
+byte-identical for any `--jobs` value. `mpc --compare` likewise runs
+both strategies against isolated registries, so its exports are
 byte-identical for any `--jobs` value.
 ";
 
@@ -83,6 +96,7 @@ pub fn run(command: &str, raw: Vec<String>) -> Result<String, ArgError> {
         "endurance" => endurance(&args),
         "sweep" => sweep(&args),
         "chaos" => chaos(&args),
+        "mpc" => mpc(&args),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
         other => Err(ArgError::new(format!(
             "unknown command '{other}'\n\n{USAGE}"
@@ -90,44 +104,85 @@ pub fn run(command: &str, raw: Vec<String>) -> Result<String, ArgError> {
     }
 }
 
-/// Turns telemetry on (cleared) when `--metrics-out` was given and
-/// returns the output path.
+/// Output paths for the run's telemetry artifacts.
+struct Telemetry {
+    /// `--metrics-out` path (JSONL, or CSV when it ends in `.csv`).
+    metrics: Option<String>,
+    /// `--flamegraph-out` path (collapsed-stack lines).
+    flame: Option<String>,
+}
+
+/// Turns telemetry on (cleared) when `--metrics-out` or
+/// `--flamegraph-out` was given and returns the output paths.
 ///
 /// # Errors
 ///
-/// Returns an error if the flag is present without a path, so a
+/// Returns an error if either flag is present without a path, so a
 /// truncated invocation cannot silently skip the export.
-fn metrics_begin(args: &Args) -> Result<Option<String>, ArgError> {
-    match args.get("metrics-out") {
-        Some(path) => {
-            bz_obs::enable();
-            bz_obs::reset();
-            Ok(Some(path.to_owned()))
+fn metrics_begin(args: &Args) -> Result<Telemetry, ArgError> {
+    let path_of = |name: &str| -> Result<Option<String>, ArgError> {
+        match args.get(name) {
+            Some(path) => Ok(Some(path.to_owned())),
+            None if args.flag(name) => Err(ArgError::new(format!("flag --{name} needs a value"))),
+            None => Ok(None),
         }
-        None if args.flag("metrics-out") => Err(ArgError::new("flag --metrics-out needs a value")),
-        None => Ok(None),
+    };
+    let telemetry = Telemetry {
+        metrics: path_of("metrics-out")?,
+        flame: path_of("flamegraph-out")?,
+    };
+    if telemetry.metrics.is_some() || telemetry.flame.is_some() {
+        bz_obs::enable();
+        bz_obs::reset();
     }
+    Ok(telemetry)
 }
 
-/// Disables telemetry, writes the export to `path` (CSV when the path
-/// ends in `.csv`, JSONL otherwise), and appends the summary table to
-/// `out`.
-fn metrics_finish(path: &str, out: &mut String) -> Result<(), ArgError> {
+/// Disables telemetry and writes the requested artifacts: the metric
+/// export (CSV when the path ends in `.csv`, JSONL otherwise; skipped
+/// when `streamed` — the bytes are already on disk and only the totals
+/// tail is flushed) and the collapsed-stack flamegraph lines. Appends
+/// the summary table to `out`.
+fn metrics_finish(telemetry: &Telemetry, streamed: bool, out: &mut String) -> Result<(), ArgError> {
+    if telemetry.metrics.is_none() && telemetry.flame.is_none() {
+        return Ok(());
+    }
     bz_obs::disable();
-    let file =
-        File::create(path).map_err(|e| ArgError::new(format!("cannot create {path}: {e}")))?;
-    let written = if path.ends_with(".csv") {
-        bz_obs::write_csv(file)
-    } else {
-        bz_obs::write_jsonl(file)
-    };
-    written.map_err(|e| ArgError::new(format!("cannot write {path}: {e}")))?;
-    *out += &format!("\nmetrics written to {path}\n{}", bz_obs::summary_table());
+    if let Some(path) = &telemetry.metrics {
+        if streamed {
+            bz_obs::finish_stream()
+                .map_err(|e| ArgError::new(format!("cannot finish stream to {path}: {e}")))?;
+            *out += &format!("\nmetrics streamed to {path}\n{}", bz_obs::summary_table());
+        } else {
+            let file = File::create(path)
+                .map_err(|e| ArgError::new(format!("cannot create {path}: {e}")))?;
+            let written = if path.ends_with(".csv") {
+                bz_obs::write_csv(file)
+            } else {
+                bz_obs::write_jsonl(file)
+            };
+            written.map_err(|e| ArgError::new(format!("cannot write {path}: {e}")))?;
+            *out += &format!("\nmetrics written to {path}\n{}", bz_obs::summary_table());
+        }
+    }
+    if let Some(path) = &telemetry.flame {
+        let stacks = bz_obs::collapsed_stacks(&bz_obs::snapshot());
+        std::fs::write(path, stacks)
+            .map_err(|e| ArgError::new(format!("cannot write {path}: {e}")))?;
+        *out += &format!("flamegraph stacks written to {path}\n");
+    }
     Ok(())
 }
 
 fn trial(args: &Args) -> Result<String, ArgError> {
-    args.expect_only(&["minutes", "seed", "csv", "quiet", "metrics-out"])?;
+    args.expect_only(&[
+        "minutes",
+        "seed",
+        "csv",
+        "quiet",
+        "metrics-out",
+        "flamegraph-out",
+    ])?;
     let minutes: u64 = args.get_or("minutes", 105)?;
     let seed: u64 = args.get_or("seed", 0x5EED_0001)?;
     let quiet = args.flag("quiet");
@@ -198,14 +253,12 @@ fn trial(args: &Args) -> Result<String, ArgError> {
             .map_err(|e| ArgError::new(format!("cannot write {path}: {e}")))?;
         out += &format!("series written to {path}\n");
     }
-    if let Some(path) = metrics {
-        metrics_finish(&path, &mut out)?;
-    }
+    metrics_finish(&metrics, false, &mut out)?;
     Ok(out)
 }
 
 fn cop(args: &Args) -> Result<String, ArgError> {
-    args.expect_only(&["settle-mins", "meter-mins", "metrics-out"])?;
+    args.expect_only(&["settle-mins", "meter-mins", "metrics-out", "flamegraph-out"])?;
     let settle: u64 = args.get_or("settle-mins", 40)?;
     let meter: u64 = args.get_or("meter-mins", 20)?;
     let metrics = metrics_begin(args)?;
@@ -239,14 +292,12 @@ fn cop(args: &Args) -> Result<String, ArgError> {
         summary.cop_overall(),
         100.0 * summary.improvement_over(aircon_cop),
     );
-    if let Some(path) = metrics {
-        metrics_finish(&path, &mut out)?;
-    }
+    metrics_finish(&metrics, false, &mut out)?;
     Ok(out)
 }
 
 fn network(args: &Args) -> Result<String, ArgError> {
-    args.expect_only(&["minutes", "fixed", "metrics-out"])?;
+    args.expect_only(&["minutes", "fixed", "metrics-out", "flamegraph-out"])?;
     let minutes: u64 = args.get_or("minutes", 300)?;
     let mode = if args.flag("fixed") {
         BtMode::Fixed
@@ -280,9 +331,7 @@ fn network(args: &Args) -> Result<String, ArgError> {
             out += &format!("mean temperature send period {mean:.1} s\n");
         }
     }
-    if let Some(path) = metrics {
-        metrics_finish(&path, &mut out)?;
-    }
+    metrics_finish(&metrics, false, &mut out)?;
     Ok(out)
 }
 
@@ -370,7 +419,7 @@ fn multihop(args: &Args) -> Result<String, ArgError> {
 }
 
 fn sniff(args: &Args) -> Result<String, ArgError> {
-    args.expect_only(&["minutes", "csv", "metrics-out"])?;
+    args.expect_only(&["minutes", "csv", "metrics-out", "flamegraph-out"])?;
     let minutes: u64 = args.get_or("minutes", 10)?;
     let metrics = metrics_begin(args)?;
     let config = SystemConfig {
@@ -419,19 +468,37 @@ traffic by type:
 "
         );
     }
-    if let Some(path) = metrics {
-        metrics_finish(&path, &mut out)?;
-    }
+    metrics_finish(&metrics, false, &mut out)?;
     Ok(out)
 }
 
 fn endurance(args: &Args) -> Result<String, ArgError> {
-    args.expect_only(&["days", "metrics-out"])?;
+    args.expect_only(&["days", "metrics-out", "flamegraph-out", "stream"])?;
     let days: u64 = args.get_or("days", 1)?;
     if days == 0 || days > 30 {
         return Err(ArgError::new("--days must be between 1 and 30"));
     }
     let metrics = metrics_begin(args)?;
+    let stream = args.flag("stream");
+    if stream {
+        let Some(path) = &metrics.metrics else {
+            return Err(ArgError::new("--stream needs --metrics-out PATH"));
+        };
+        if path.ends_with(".csv") {
+            return Err(ArgError::new(
+                "--stream writes JSONL; --metrics-out must not end in .csv",
+            ));
+        }
+        if metrics.flame.is_some() {
+            return Err(ArgError::new(
+                "--stream cannot be combined with --flamegraph-out \
+                 (streamed spans go to disk instead of the in-memory buffer)",
+            ));
+        }
+        let file =
+            File::create(path).map_err(|e| ArgError::new(format!("cannot create {path}: {e}")))?;
+        bz_obs::stream_to(Box::new(file));
+    }
     let duration = SimDuration::from_hours(days * 24);
     let mut rng = bz_simcore::Rng::seed_from(0x7DA7);
     let plant = PlantConfig::bubble_zero_lab()
@@ -458,9 +525,7 @@ after {days} day(s): delivery {:.1}%, mean projected device lifetime {mean_life:
 ",
         100.0 * system.network().stats().delivery_ratio(),
     );
-    if let Some(path) = metrics {
-        metrics_finish(&path, &mut out)?;
-    }
+    metrics_finish(&metrics, stream, &mut out)?;
     Ok(out)
 }
 
@@ -564,7 +629,13 @@ fn sweep(args: &Args) -> Result<String, ArgError> {
 /// machine-greppable `chaos-result:` line carries the headline numbers
 /// for CI smoke checks.
 fn chaos(args: &Args) -> Result<String, ArgError> {
-    args.expect_only(&["scenario", "minutes", "seed", "metrics-out"])?;
+    args.expect_only(&[
+        "scenario",
+        "minutes",
+        "seed",
+        "metrics-out",
+        "flamegraph-out",
+    ])?;
     let mut scenario = match args.get("scenario") {
         Some(path) => {
             let text = std::fs::read_to_string(path)
@@ -590,8 +661,106 @@ fn chaos(args: &Args) -> Result<String, ArgError> {
     out += "\n";
     out += &report.summary_line();
     out += "\n";
-    if let Some(path) = metrics {
-        metrics_finish(&path, &mut out)?;
+    metrics_finish(&metrics, false, &mut out)?;
+    Ok(out)
+}
+
+/// Runs the bz-predict MPC subsystem over an occupancy scenario (the
+/// bundled office day unless `--scenario PATH` points at a JSON file).
+/// With `--compare` it runs MPC and the reactive baseline head-to-head
+/// on the same seed and prints an energy-vs-comfort report plus a
+/// machine-greppable `mpc-result:` line. Both strategies record into
+/// isolated telemetry registries, so `--metrics-out` /
+/// `--flamegraph-out` receive the MPC run's export directly and the
+/// bytes are identical for any `--jobs` value.
+fn mpc(args: &Args) -> Result<String, ArgError> {
+    args.expect_only(&[
+        "scenario",
+        "minutes",
+        "seed",
+        "horizon",
+        "compare",
+        "jobs",
+        "metrics-out",
+        "flamegraph-out",
+        "quiet",
+    ])?;
+    let mut scenario = match args.get("scenario") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| ArgError::new(format!("cannot read {path}: {e}")))?;
+            bz_predict::MpcScenario::from_json(&text)
+                .map_err(|e| ArgError::new(format!("{path}: {e}")))?
+        }
+        None if args.flag("scenario") => {
+            return Err(ArgError::new("flag --scenario needs a value"))
+        }
+        None => bz_predict::MpcScenario::bundled_office(),
+    };
+    let default_mins = (scenario.duration.as_secs_f64() / 60.0).round() as u64;
+    let minutes: u64 = args.get_or("minutes", default_mins)?;
+    if minutes == 0 {
+        return Err(ArgError::new("--minutes must be positive"));
+    }
+    scenario.duration = SimDuration::from_mins(minutes);
+    scenario.seed = args.get_or("seed", scenario.seed)?;
+    let mut config = bz_predict::MpcConfig::office();
+    config.horizon = args.get_or("horizon", config.horizon)?;
+    let jobs: usize = args.get_or("jobs", 1)?;
+    if jobs == 0 {
+        return Err(ArgError::new("--jobs must be positive"));
+    }
+    let quiet = args.flag("quiet");
+    let path_of = |name: &str| -> Result<Option<String>, ArgError> {
+        match args.get(name) {
+            Some(path) if name == "metrics-out" && path.ends_with(".csv") => Err(ArgError::new(
+                "mpc exports JSONL; --metrics-out must not end in .csv",
+            )),
+            Some(path) => Ok(Some(path.to_owned())),
+            None if args.flag(name) => Err(ArgError::new(format!("flag --{name} needs a value"))),
+            None => Ok(None),
+        }
+    };
+    let metrics_path = path_of("metrics-out")?;
+    let flame_path = path_of("flamegraph-out")?;
+
+    let mut out = String::new();
+    let mpc_run = if args.flag("compare") {
+        let report = bz_predict::compare(&scenario, config, jobs);
+        if quiet {
+            out += &report.summary_line();
+            out += "\n";
+        } else {
+            out += &report.render();
+        }
+        report.mpc
+    } else {
+        let run = bz_predict::compare::run_strategy(&scenario, Some(config));
+        out += &format!(
+            "mpc run: scenario {} ({minutes} min, seed {})\n\
+             energy {:.1} kJ (radiant chiller {:.1}, vent chiller {:.1}, pumps {:.1}, fans {:.1})\n\
+             occupied comfort violation {:.1} subspace-min, condensate {:.4} kg\n",
+            scenario.name,
+            scenario.seed,
+            run.energy_kj,
+            run.radiant_chiller_kj,
+            run.vent_chiller_kj,
+            run.pumps_kj,
+            run.fans_kj,
+            run.comfort_violation_min,
+            run.condensate_kg,
+        );
+        run
+    };
+    if let Some(path) = &metrics_path {
+        std::fs::write(path, &mpc_run.export)
+            .map_err(|e| ArgError::new(format!("cannot write {path}: {e}")))?;
+        out += &format!("metrics written to {path}\n");
+    }
+    if let Some(path) = &flame_path {
+        std::fs::write(path, &mpc_run.flame)
+            .map_err(|e| ArgError::new(format!("cannot write {path}: {e}")))?;
+        out += &format!("flamegraph stacks written to {path}\n");
     }
     Ok(out)
 }
@@ -690,6 +859,25 @@ mod tests {
     }
 
     #[test]
+    fn sweep_strategy_axis_reports_energy_delta() {
+        let out = run_ok(
+            "sweep",
+            &[
+                "--runs",
+                "1",
+                "--minutes",
+                "1",
+                "--grid",
+                "strategy=reactive,mpc;occupancy-rate=0.5",
+                "--jobs",
+                "2",
+            ],
+        );
+        assert!(out.contains("sweep: 2 run(s)"));
+        assert!(out.contains("energy delta mpc vs reactive"));
+    }
+
+    #[test]
     fn sweep_rejects_bad_inputs() {
         assert!(run("sweep", vec!["--runs".into(), "0".into()]).is_err());
         assert!(run("sweep", vec!["--jobs".into(), "0".into()]).is_err());
@@ -737,5 +925,128 @@ mod tests {
     fn sniff_metrics_out_requires_a_value() {
         let err = run("sniff", vec!["--metrics-out".into()]).unwrap_err();
         assert!(err.to_string().contains("needs a value"));
+    }
+
+    #[test]
+    fn mpc_compare_runs_short() {
+        let out = run_ok("mpc", &["--minutes", "4", "--compare", "--quiet"]);
+        assert!(out.contains("mpc-result: scenario=office"));
+    }
+
+    #[test]
+    fn mpc_single_run_reports_energy() {
+        let out = run_ok("mpc", &["--minutes", "3", "--horizon", "4"]);
+        assert!(out.contains("mpc run: scenario office"));
+        assert!(out.contains("energy"));
+        assert!(out.contains("condensate"));
+    }
+
+    #[test]
+    fn mpc_loads_the_bundled_scenario_file() {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../scenarios/mpc_office.json"
+        );
+        let out = run_ok("mpc", &["--scenario", path, "--minutes", "3"]);
+        assert!(out.contains("scenario office"));
+    }
+
+    #[test]
+    fn mpc_rejects_bad_inputs() {
+        assert!(run("mpc", vec!["--scenario".into()]).is_err());
+        assert!(run("mpc", vec!["--minutes".into(), "0".into()]).is_err());
+        assert!(run("mpc", vec!["--jobs".into(), "0".into()]).is_err());
+        assert!(run("mpc", vec!["--frobnicate".into()]).is_err());
+        assert!(run("mpc", vec!["--metrics-out".into(), "/tmp/mpc.csv".into()]).is_err());
+        let err = run("mpc", vec!["--scenario".into(), "/nonexistent.json".into()]).unwrap_err();
+        assert!(err.to_string().contains("cannot read"));
+    }
+
+    #[test]
+    fn mpc_writes_metrics_and_flamegraph_files() {
+        let dir = std::env::temp_dir().join("bzctl-mpc-artifacts");
+        std::fs::create_dir_all(&dir).unwrap();
+        let metrics = dir.join("mpc.jsonl");
+        let flame = dir.join("mpc.folded");
+        let out = run_ok(
+            "mpc",
+            &[
+                "--minutes",
+                "3",
+                "--metrics-out",
+                metrics.to_str().unwrap(),
+                "--flamegraph-out",
+                flame.to_str().unwrap(),
+            ],
+        );
+        assert!(out.contains("metrics written to"));
+        assert!(out.contains("flamegraph stacks written to"));
+        let export = std::fs::read_to_string(&metrics).unwrap();
+        assert!(
+            export.contains("\"kind\""),
+            "JSONL export looks wrong: {export}"
+        );
+        let stacks = std::fs::read_to_string(&flame).unwrap();
+        assert!(
+            stacks.contains("core.step_second"),
+            "collapsed stacks look wrong: {stacks}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trial_flamegraph_out_writes_collapsed_stacks() {
+        let dir = std::env::temp_dir().join("bzctl-trial-flame");
+        std::fs::create_dir_all(&dir).unwrap();
+        let flame = dir.join("trial.folded");
+        let out = run_ok(
+            "trial",
+            &[
+                "--minutes",
+                "1",
+                "--quiet",
+                "--flamegraph-out",
+                flame.to_str().unwrap(),
+            ],
+        );
+        assert!(out.contains("flamegraph stacks written to"));
+        let stacks = std::fs::read_to_string(&flame).unwrap();
+        assert!(!stacks.is_empty(), "collapsed stacks must not be empty");
+        assert!(stacks.lines().all(|l| l
+            .rsplit_once(' ')
+            .is_some_and(|(_, n)| n.parse::<u64>().is_ok())));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn endurance_stream_requires_metrics_out() {
+        let err = run(
+            "endurance",
+            vec!["--stream".into(), "--days".into(), "1".into()],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("--stream needs --metrics-out"));
+        let err = run(
+            "endurance",
+            vec![
+                "--stream".into(),
+                "--metrics-out".into(),
+                "/tmp/x.csv".into(),
+            ],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("must not end in .csv"));
+        let err = run(
+            "endurance",
+            vec![
+                "--stream".into(),
+                "--metrics-out".into(),
+                "/tmp/x.jsonl".into(),
+                "--flamegraph-out".into(),
+                "/tmp/x.folded".into(),
+            ],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("cannot be combined"));
     }
 }

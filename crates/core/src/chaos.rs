@@ -34,6 +34,7 @@ use bz_thermal::zone::SubspaceId;
 use bz_wsn::faults::{WsnFault, WsnFaultEvent, WsnFaultSchedule};
 use bz_wsn::message::NodeId;
 
+use crate::json::Json;
 use crate::system::{BubbleZeroSystem, SystemConfig};
 use crate::targets::ComfortTargets;
 
@@ -121,7 +122,7 @@ impl ChaosScenario {
     /// JSON, unknown layers/kinds/targets, out-of-range indices, or
     /// non-finite times.
     pub fn from_json(text: &str) -> Result<Self, ChaosError> {
-        let root = Json::parse(text)?;
+        let root = Json::parse(text).map_err(|e| ChaosError::new(e.to_string()))?;
         let name = match root.field("name") {
             Some(v) => v
                 .as_str()
@@ -656,266 +657,9 @@ fn time_field(entry: &Json, name: &str) -> Result<Option<SimTime>, ChaosError> {
     }
 }
 
-/// A minimal JSON value. The workspace is offline (no serde), so the
-/// scenario loader carries its own parser — strict enough to reject the
-/// malformed files a hand-edited scenario produces.
-#[derive(Debug, Clone, PartialEq)]
-enum Json {
-    Obj(Vec<(String, Json)>),
-    Arr(Vec<Json>),
-    Str(String),
-    Num(f64),
-    Bool(bool),
-    Null,
-}
-
-impl Json {
-    fn parse(text: &str) -> Result<Self, ChaosError> {
-        let mut parser = JsonParser {
-            bytes: text.as_bytes(),
-            pos: 0,
-        };
-        parser.skip_ws();
-        let value = parser.value()?;
-        parser.skip_ws();
-        if parser.pos != parser.bytes.len() {
-            return Err(parser.error("trailing characters after the document"));
-        }
-        Ok(value)
-    }
-
-    fn field(&self, name: &str) -> Option<&Json> {
-        match self {
-            Self::Obj(fields) => fields.iter().find(|(k, _)| k == name).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    fn as_str(&self) -> Option<&str> {
-        match self {
-            Self::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    fn as_f64(&self) -> Option<f64> {
-        match self {
-            Self::Num(n) => Some(*n),
-            _ => None,
-        }
-    }
-
-    fn as_arr(&self) -> Option<&[Json]> {
-        match self {
-            Self::Arr(items) => Some(items),
-            _ => None,
-        }
-    }
-}
-
-struct JsonParser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl JsonParser<'_> {
-    fn error(&self, message: &str) -> ChaosError {
-        ChaosError::new(format!("json error at byte {}: {message}", self.pos))
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn skip_ws(&mut self) {
-        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
-            self.pos += 1;
-        }
-    }
-
-    fn expect(&mut self, byte: u8) -> Result<(), ChaosError> {
-        if self.peek() == Some(byte) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(self.error(&format!("expected '{}'", byte as char)))
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, ChaosError> {
-        match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
-            Some(b'"') => Ok(Json::Str(self.string()?)),
-            Some(b't') => self.literal("true", Json::Bool(true)),
-            Some(b'f') => self.literal("false", Json::Bool(false)),
-            Some(b'n') => self.literal("null", Json::Null),
-            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
-            _ => Err(self.error("expected a value")),
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, ChaosError> {
-        self.expect(b'{')?;
-        let mut fields = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Json::Obj(fields));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.skip_ws();
-            self.expect(b':')?;
-            self.skip_ws();
-            let value = self.value()?;
-            fields.push((key, value));
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Json::Obj(fields));
-                }
-                _ => return Err(self.error("expected ',' or '}'")),
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<Json, ChaosError> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            self.skip_ws();
-            items.push(self.value()?);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Json::Arr(items));
-                }
-                _ => return Err(self.error("expected ',' or ']'")),
-            }
-        }
-    }
-
-    fn string(&mut self) -> Result<String, ChaosError> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.peek() {
-                None => return Err(self.error("unterminated string")),
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    let escape = self.peek().ok_or_else(|| self.error("bad escape"))?;
-                    self.pos += 1;
-                    match escape {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'/' => out.push('/'),
-                        b'n' => out.push('\n'),
-                        b't' => out.push('\t'),
-                        b'r' => out.push('\r'),
-                        b'b' => out.push('\u{8}'),
-                        b'f' => out.push('\u{c}'),
-                        b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos..self.pos + 4)
-                                .and_then(|h| std::str::from_utf8(h).ok())
-                                .and_then(|h| u32::from_str_radix(h, 16).ok())
-                                .and_then(char::from_u32)
-                                .ok_or_else(|| self.error("bad \\u escape"))?;
-                            self.pos += 4;
-                            out.push(hex);
-                        }
-                        _ => return Err(self.error("unknown escape")),
-                    }
-                }
-                Some(_) => {
-                    // Consume one full UTF-8 character.
-                    let rest = &self.bytes[self.pos..];
-                    let text = std::str::from_utf8(rest)
-                        .map_err(|_| self.error("invalid utf-8 in string"))?;
-                    let ch = text.chars().next().expect("non-empty");
-                    out.push(ch);
-                    self.pos += ch.len_utf8();
-                }
-            }
-        }
-    }
-
-    fn number(&mut self) -> Result<Json, ChaosError> {
-        let start = self.pos;
-        while matches!(
-            self.peek(),
-            Some(b'-' | b'+' | b'.' | b'e' | b'E') | Some(b'0'..=b'9')
-        ) {
-            self.pos += 1;
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| self.error(&format!("bad number '{text}'")))
-    }
-
-    fn literal(&mut self, word: &str, value: Json) -> Result<Json, ChaosError> {
-        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
-            self.pos += word.len();
-            Ok(value)
-        } else {
-            Err(self.error(&format!("expected '{word}'")))
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn json_parser_handles_all_value_kinds() {
-        let doc = Json::parse(
-            r#"{"s": "a\n\"bA", "n": -2.5e1, "b": true, "x": null,
-                "arr": [1, 2, {"k": false}]}"#,
-        )
-        .unwrap();
-        assert_eq!(doc.field("s").unwrap().as_str(), Some("a\n\"bA"));
-        assert_eq!(doc.field("n").unwrap().as_f64(), Some(-25.0));
-        assert_eq!(doc.field("b"), Some(&Json::Bool(true)));
-        assert_eq!(doc.field("x"), Some(&Json::Null));
-        let arr = doc.field("arr").unwrap().as_arr().unwrap();
-        assert_eq!(arr.len(), 3);
-        assert_eq!(arr[2].field("k"), Some(&Json::Bool(false)));
-    }
-
-    #[test]
-    fn json_parser_rejects_malformed_documents() {
-        for bad in [
-            "",
-            "{",
-            "{\"a\": }",
-            "{\"a\": 1} x",
-            "[1, 2",
-            "{\"a\" 1}",
-            "\"unterminated",
-            "{\"a\": nul}",
-            "{\"a\": 1e}",
-        ] {
-            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
-        }
-    }
 
     #[test]
     fn scenario_parses_every_layer_and_kind() {

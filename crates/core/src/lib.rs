@@ -49,10 +49,12 @@
 pub mod baseline;
 pub mod chaos;
 pub mod devices;
+pub mod json;
 pub mod metrics;
 pub mod pid;
 pub mod radiant;
 pub mod scenario;
+pub mod strategy;
 pub mod supervisor;
 pub mod system;
 pub mod targets;

@@ -287,8 +287,6 @@ impl RadiantController {
             };
         }
 
-        // Split the target flow between the supply and recycle pumps so
-        // the junction mixes to `mix_target` (§III-B's feedback design).
         // The integral trim compensates the lag between the return-pipe
         // reading and the post-adjustment return temperature.
         if let Some(measured_mix) = self.mixed_temp {
@@ -299,6 +297,25 @@ impl RadiantController {
                 self.mix_trim_k = 0.0;
             }
         }
+        let command = self.split_flows(flow_target, supply, return_temp, mix_target);
+        RadiantDecision {
+            command,
+            ceiling_dew: Some(ceiling_dew),
+            mix_target: Some(mix_target),
+            flow_target,
+        }
+    }
+
+    /// Splits a target loop flow between the supply and recycle pumps so
+    /// the junction mixes to `mix_target` (§III-B's feedback design),
+    /// honouring the current integral trim.
+    fn split_flows(
+        &self,
+        flow_target: f64,
+        supply: Celsius,
+        return_temp: Celsius,
+        mix_target: Celsius,
+    ) -> RadiantLoopCommand {
         let blend_target = mix_target.get() + self.mix_trim_k;
         let (supply_flow, recycle_flow) = if mix_target.get() <= supply.get() + 0.05 {
             // Tank water is already warm enough: supply directly.
@@ -312,17 +329,56 @@ impl RadiantController {
             let supply_flow = flow_target * fraction.clamp(0.0, 1.0);
             (supply_flow, flow_target - supply_flow)
         };
-
-        let command = RadiantLoopCommand {
+        RadiantLoopCommand {
             supply_voltage: self.pump.voltage_for(supply_flow),
             recycle_voltage: self.pump.voltage_for(recycle_flow),
+        }
+    }
+
+    /// Re-blends an externally chosen loop flow through the same dew-safe
+    /// mixing logic [`decide`](Self::decide) uses, without advancing the
+    /// PID or the mix trim.
+    ///
+    /// A predictive planner that wants *less* flow than the reactive PID
+    /// asked for calls this so its command structurally inherits the
+    /// `T_t_mix = max(T_supp, T_c_dew + margin)` condensation guard.
+    /// Returns `None` when the sensor picture is too stale to blend
+    /// safely — callers must fall back to a stopped loop.
+    #[must_use]
+    pub fn command_for_flow(&self, now_s: f64, flow_target: f64) -> Option<RadiantDecision> {
+        let ceiling_dew = self.ceiling_dew_point(now_s)?;
+        let (supply, return_temp) = (self.supply_temp?, self.return_temp?);
+        let dew_floor = Celsius::new(ceiling_dew.get() + self.config.dew_margin_k);
+        let mix_target = supply.max(dew_floor);
+        let command = if flow_target <= 1.0e-6 {
+            RadiantLoopCommand::default()
+        } else {
+            self.split_flows(flow_target, supply, return_temp, mix_target)
         };
-        RadiantDecision {
+        Some(RadiantDecision {
             command,
             ceiling_dew: Some(ceiling_dew),
             mix_target: Some(mix_target),
             flow_target,
-        }
+        })
+    }
+
+    /// The configuration this controller runs with.
+    #[must_use]
+    pub fn config(&self) -> &RadiantConfig {
+        &self.config
+    }
+
+    /// The last wired supply-pipe reading, if any.
+    #[must_use]
+    pub fn supply_temp(&self) -> Option<Celsius> {
+        self.supply_temp
+    }
+
+    /// The last wired measurement of the achieved mixed-water temperature.
+    #[must_use]
+    pub fn measured_mixed_temp(&self) -> Option<Celsius> {
+        self.mixed_temp
     }
 }
 
@@ -446,6 +502,33 @@ mod tests {
         let mild = run(26.0);
         let hot = run(29.0);
         assert!(hot > mild, "hot {hot} vs mild {mild}");
+    }
+
+    #[test]
+    fn command_for_flow_matches_the_decide_blend() {
+        let mut c = controller();
+        feed_ceiling(&mut c, 0.0, 27.0, 21.0);
+        c.set_pipe_readings(Celsius::new(18.0), Celsius::new(24.0));
+        c.observe_room_temperature(0, 0.0, Celsius::new(28.0));
+        c.observe_room_temperature(1, 0.0, Celsius::new(28.0));
+        let d = c.decide(0.0, 5.0);
+        let re = c.command_for_flow(0.0, d.flow_target).unwrap();
+        assert_eq!(re.command, d.command);
+        assert_eq!(re.mix_target, d.mix_target);
+        // A scaled-down flow keeps the same dew-safe mix target.
+        let half = c.command_for_flow(0.0, d.flow_target * 0.5).unwrap();
+        assert_eq!(half.mix_target, d.mix_target);
+        assert!(half.command.recycle_voltage.get() > 0.0);
+    }
+
+    #[test]
+    fn command_for_flow_fails_safe_without_data() {
+        let c = controller();
+        assert!(c.command_for_flow(0.0, 1.0e-4).is_none());
+        let mut c = controller();
+        feed_ceiling(&mut c, 0.0, 27.0, 21.0);
+        // Ceiling data but no pipe readings: still unsafe to blend.
+        assert!(c.command_for_flow(0.0, 1.0e-4).is_none());
     }
 
     #[test]

@@ -31,6 +31,7 @@ use bz_wsn::sniffer::Sniffer;
 
 use crate::devices::{channels, DeviceRole};
 use crate::radiant::{RadiantConfig, RadiantController, RadiantDecision};
+use crate::strategy::{ControlStrategy, CycleInputs, ReactiveStrategy};
 use crate::supervisor::{SensorHealthSupervisor, SupervisorConfig};
 use crate::targets::ComfortTargets;
 use crate::ventilation::{VentilationConfig, VentilationController, VentilationDecision};
@@ -220,8 +221,7 @@ pub struct BubbleZeroSystem {
     config: SystemConfig,
     plant: ThermalPlant,
     network: Network,
-    radiant: [RadiantController; 2],
-    ventilation: [VentilationController; 4],
+    strategy: Box<dyn ControlStrategy>,
     bt_streams: Vec<BtStream>,
     bt_ledgers: Vec<EnergyLedger>,
     ac_streams: Vec<AcStream>,
@@ -255,19 +255,27 @@ impl BubbleZeroSystem {
     /// the parallel sweep runner's determinism guarantee.
     #[must_use]
     pub fn with_obs(config: SystemConfig, obs: bz_obs::Handle) -> Self {
+        Self::with_strategy(config, obs, |reactive| Box::new(reactive))
+    }
+
+    /// Builds the system with a custom control strategy. The factory
+    /// receives the fully wired reactive stack (so wrapper strategies —
+    /// e.g. `bz-predict`'s MPC — can delegate to it) and returns the
+    /// strategy to install. Everything else — sensors, network, safety
+    /// supervision — is identical to [`Self::with_obs`].
+    #[must_use]
+    pub fn with_strategy(
+        config: SystemConfig,
+        obs: bz_obs::Handle,
+        make_strategy: impl FnOnce(ReactiveStrategy) -> Box<dyn ControlStrategy>,
+    ) -> Self {
         let mut rng = Rng::seed_from(config.seed);
         let plant = ThermalPlant::new(config.plant.clone()).with_obs(obs.clone());
         let network = Network::new(config.network, rng.fork())
             .with_obs(obs.clone())
             .with_faults(config.wsn_faults.clone());
 
-        let radiant = std::array::from_fn(|_| {
-            RadiantController::new(config.radiant, config.targets, *plant.loop_pump())
-                .with_obs(obs.clone())
-        });
-        let ventilation = std::array::from_fn(|_| {
-            VentilationController::new(config.ventilation, config.targets).with_obs(obs.clone())
-        });
+        let strategy = make_strategy(ReactiveStrategy::new(&config, *plant.loop_pump(), &obs));
 
         // Battery devices: 12 ceiling sensors (T+H streams), 4 room
         // sensors (T+H), 4 CO₂ sensors.
@@ -410,8 +418,7 @@ impl BubbleZeroSystem {
             config,
             plant,
             network,
-            radiant,
-            ventilation,
+            strategy,
             bt_streams,
             bt_ledgers,
             ac_streams,
@@ -483,12 +490,20 @@ impl BubbleZeroSystem {
     /// occupant turned the thermostat).
     pub fn set_targets(&mut self, targets: ComfortTargets) {
         self.config.targets = targets;
-        for controller in &mut self.radiant {
-            controller.set_targets(targets);
-        }
-        for controller in &mut self.ventilation {
-            controller.set_targets(targets);
-        }
+        self.strategy.set_targets(targets);
+    }
+
+    /// The installed control strategy's name (`"reactive"` unless a
+    /// custom strategy was installed via [`Self::with_strategy`]).
+    #[must_use]
+    pub fn strategy_name(&self) -> &'static str {
+        self.strategy.name()
+    }
+
+    /// The installed control strategy (diagnostics).
+    #[must_use]
+    pub fn strategy(&self) -> &dyn ControlStrategy {
+        self.strategy.as_ref()
     }
 
     /// Read access to a ventilation controller (diagnostics).
@@ -498,7 +513,7 @@ impl BubbleZeroSystem {
     /// Panics if `subspace` is out of range.
     #[must_use]
     pub fn ventilation_controller(&self, subspace: usize) -> &VentilationController {
-        &self.ventilation[subspace]
+        self.strategy.reactive().ventilation_controller(subspace)
     }
 
     /// Read access to a radiant controller (diagnostics).
@@ -508,7 +523,7 @@ impl BubbleZeroSystem {
     /// Panics if `panel` is out of range.
     #[must_use]
     pub fn radiant_controller(&self, panel: usize) -> &RadiantController {
-        &self.radiant[panel]
+        self.strategy.reactive().radiant_controller(panel)
     }
 
     /// The sniffer capture, if `enable_sniffer` was set.
@@ -836,7 +851,8 @@ impl BubbleZeroSystem {
                 if let Some(k) = channel.checked_sub(channels::CEILING_BASE) {
                     if k < 12 {
                         let panel = (k / 6) as usize;
-                        self.radiant[panel].observe_ceiling_temperature(
+                        self.strategy.observe_ceiling_temperature(
+                            panel,
                             (k % 6) as usize,
                             now_s,
                             Celsius::new(message.value()),
@@ -849,7 +865,7 @@ impl BubbleZeroSystem {
                         let s = s as usize;
                         let value = Celsius::new(message.value());
                         self.room_cache[s].0 = Some(value);
-                        self.radiant[s / 2].observe_room_temperature(s % 2, now_s, value);
+                        self.strategy.observe_room_temperature(s, now_s, value);
                         self.push_room_pair(s, now_s);
                         return;
                     }
@@ -866,7 +882,8 @@ impl BubbleZeroSystem {
                 if let Some(k) = channel.checked_sub(channels::CEILING_BASE) {
                     if k < 12 {
                         let panel = (k / 6) as usize;
-                        self.radiant[panel].observe_ceiling_humidity(
+                        self.strategy.observe_ceiling_humidity(
+                            panel,
                             (k % 6) as usize,
                             now_s,
                             Percent::new(message.value()),
@@ -893,15 +910,17 @@ impl BubbleZeroSystem {
             DataType::Co2 => {
                 if let Some(s) = channel.checked_sub(channels::CO2_BASE) {
                     if s < 4 {
-                        self.ventilation[s as usize]
-                            .observe_co2(now_s, bz_psychro::Ppm::new(message.value()));
+                        self.strategy.observe_co2(
+                            s as usize,
+                            now_s,
+                            bz_psychro::Ppm::new(message.value()),
+                        );
                     }
                 }
             }
             DataType::SupplyTemperature => {
-                for controller in &mut self.ventilation {
-                    controller.observe_supply_temperature(now_s, Celsius::new(message.value()));
-                }
+                self.strategy
+                    .observe_supply_temperature(now_s, Celsius::new(message.value()));
             }
             // Control-C-2's loop-flow broadcast feeds the actuator
             // watchdog (commanded vs sensed flow).
@@ -917,13 +936,13 @@ impl BubbleZeroSystem {
 
     fn push_room_pair(&mut self, s: usize, now_s: f64) {
         if let (Some(t), Some(h)) = self.room_cache[s] {
-            self.ventilation[s].observe_room(now_s, t, h);
+            self.strategy.observe_room(s, now_s, t, h);
         }
     }
 
     fn push_outlet_pair(&mut self, a: usize, now_s: f64) {
         if let (Some(t), Some(h)) = self.outlet_cache[a] {
-            self.ventilation[a].observe_outlet(now_s, t, h);
+            self.strategy.observe_outlet(a, now_s, t, h);
         }
     }
 
@@ -933,14 +952,39 @@ impl BubbleZeroSystem {
 
         // Re-probe any latched pump faults whose lockout has elapsed.
         self.supervisor.begin_control_cycle(now_s);
+
+        // Hand the strategy its per-cycle inputs: the occupancy-sensor
+        // stream (schedule-derived, like a PIR array would report) and the
+        // supervisor's current trust verdicts on the room-temperature
+        // channels, which gate predictive model identification.
+        let occupancy = std::array::from_fn(|s| {
+            self.config
+                .plant
+                .occupancy
+                .headcount(SubspaceId::from_index(s), self.now)
+        });
+        let room_trusted = std::array::from_fn(|s| {
+            self.supervisor.channel_trusted(
+                DataType::Temperature,
+                channels::ROOM_BASE + s as u16,
+                now_s,
+            )
+        });
+        self.strategy.begin_cycle(&CycleInputs {
+            now_s,
+            dt_s,
+            occupancy,
+            room_trusted,
+        });
+
         for panel in 0..2 {
             // Pipe sensors are wired straight into Control-C-1.
             let supply = self.plant.read_supply_temp();
             let ret = self.plant.read_return_temp(panel);
             let mixed = self.plant.read_mixed_temp(panel);
-            self.radiant[panel].set_pipe_readings(supply, ret);
-            self.radiant[panel].observe_mixed_temp(mixed);
-            let decision = self.radiant[panel].decide(now_s, dt_s);
+            self.strategy.set_pipe_readings(panel, supply, ret);
+            self.strategy.observe_mixed_temp(panel, mixed);
+            let decision = self.strategy.decide_radiant(panel, now_s, dt_s);
             // Condensation safe mode: while the panel's dew-margin inputs
             // are untrustworthy or its pump watchdog is latched, the
             // valves stay closed regardless of what the controller wants.
@@ -969,7 +1013,7 @@ impl BubbleZeroSystem {
             self.last_radiant[panel] = Some(decision);
         }
         for s in 0..4 {
-            let decision = self.ventilation[s].decide(now_s, dt_s);
+            let decision = self.strategy.decide_ventilation(s, now_s, dt_s);
             self.commands.airboxes[s] = decision.actuation;
             self.last_ventilation[s] = Some(decision);
         }

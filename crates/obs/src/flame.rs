@@ -1,0 +1,133 @@
+//! Span-stream flamegraph folding.
+//!
+//! Folds the recorded span event stream into Brendan Gregg's collapsed
+//! stack format — one `outer;inner;leaf weight` line per distinct stack —
+//! ready for `flamegraph.pl` or any compatible viewer. The weight is
+//! **simulated** self-time in milliseconds (time in the span not covered
+//! by child spans), so the emitted file is deterministic for a seeded
+//! run; wall-clock timings stay in the summary table.
+//!
+//! Reconstruction relies on how [`crate::SpanGuard`] records spans: a
+//! span's event is pushed when it *exits*, so children always precede
+//! their parent in the stream, and the recorded depth tells us which
+//! pending frames are whose children.
+
+use std::collections::BTreeMap;
+
+use crate::registry::{Event, Snapshot};
+
+/// One reconstructed span occurrence awaiting its parent.
+struct Frame {
+    name: String,
+    sim_ms: u64,
+    children: Vec<Frame>,
+}
+
+/// Folds `snapshot`'s span events into collapsed-stack lines, sorted by
+/// stack path. Stacks with zero self-time are omitted (they carry no
+/// weight; their children still appear). Spans whose parent never exited
+/// before the snapshot are emitted as roots of their own stacks.
+#[must_use]
+pub fn collapsed_stacks(snapshot: &Snapshot) -> String {
+    let mut pending: Vec<Vec<Frame>> = Vec::new();
+    for event in &snapshot.events {
+        let Event::Span {
+            name,
+            sim_ms,
+            depth,
+            ..
+        } = event
+        else {
+            continue;
+        };
+        let depth = *depth as usize;
+        if pending.len() <= depth + 1 {
+            pending.resize_with(depth + 2, Vec::new);
+        }
+        let children = std::mem::take(&mut pending[depth + 1]);
+        pending[depth].push(Frame {
+            name: name.to_string(),
+            sim_ms: *sim_ms,
+            children,
+        });
+    }
+
+    let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+    for level in &pending {
+        for frame in level {
+            fold(frame, "", &mut folded);
+        }
+    }
+    let mut out = String::new();
+    for (stack, weight) in &folded {
+        out += &format!("{stack} {weight}\n");
+    }
+    out
+}
+
+fn fold(frame: &Frame, prefix: &str, folded: &mut BTreeMap<String, u64>) {
+    let stack = if prefix.is_empty() {
+        frame.name.clone()
+    } else {
+        format!("{prefix};{}", frame.name)
+    };
+    let child_total = frame
+        .children
+        .iter()
+        .fold(0u64, |sum, c| sum.saturating_add(c.sim_ms));
+    let self_ms = frame.sim_ms.saturating_sub(child_total);
+    if self_ms > 0 {
+        let slot = folded.entry(stack.clone()).or_insert(0);
+        *slot = slot.saturating_add(self_ms);
+    }
+    for child in &frame.children {
+        fold(child, &stack, folded);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn folds_nested_spans_into_self_time_stacks() {
+        let mut registry = Registry::new();
+        // Children exit (and record) before their parent, as SpanGuard does.
+        registry.span_complete("identify", 0, 30, 1, 0);
+        registry.span_complete("optimize", 30, 20, 1, 0);
+        registry.span_complete("plan", 0, 100, 0, 0);
+        let folded = collapsed_stacks(&registry.snapshot());
+        assert_eq!(folded, "plan 50\nplan;identify 30\nplan;optimize 20\n");
+    }
+
+    #[test]
+    fn repeated_stacks_aggregate_and_zero_self_time_is_omitted() {
+        let mut registry = Registry::new();
+        for tick in 0..3u64 {
+            registry.span_complete("inner", tick * 100, 40, 1, 0);
+            // The outer span is fully covered by its child: no self line.
+            registry.span_complete("outer", tick * 100, 40, 0, 0);
+        }
+        let folded = collapsed_stacks(&registry.snapshot());
+        assert_eq!(folded, "outer;inner 120\n");
+    }
+
+    #[test]
+    fn orphaned_deep_spans_become_their_own_roots() {
+        let mut registry = Registry::new();
+        // Depth-1 span whose parent never exits before the snapshot.
+        registry.span_complete("stranded", 0, 7, 1, 0);
+        let folded = collapsed_stacks(&registry.snapshot());
+        assert_eq!(folded, "stranded 7\n");
+    }
+
+    #[test]
+    fn non_span_events_are_ignored() {
+        let mut registry = Registry::new();
+        registry.gauge_set("g", 0, 1.0);
+        registry.counter_add("c", 1);
+        registry.record_counters(0);
+        assert_eq!(collapsed_stacks(&registry.snapshot()), "");
+    }
+}

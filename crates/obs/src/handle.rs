@@ -191,6 +191,31 @@ impl Handle {
         self.with_registry(|registry| registry.write_jsonl(out))
     }
 
+    /// Switches this handle's registry to streaming JSONL export: events
+    /// are written to `sink` as they are recorded instead of being
+    /// buffered (see [`Registry::stream_to`]). Pass a buffered writer —
+    /// events arrive one line at a time.
+    pub fn stream_to(&self, sink: Box<dyn Write + Send>) {
+        self.with_registry(|registry| registry.stream_to(sink));
+    }
+
+    /// Whether this handle's registry is streaming events to a sink.
+    #[must_use]
+    pub fn is_streaming(&self) -> bool {
+        self.with_registry(|registry| registry.is_streaming())
+    }
+
+    /// Ends streaming and writes the totals tail (see
+    /// [`Registry::finish_stream`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error hit while streaming, or any error from the
+    /// tail write.
+    pub fn finish_stream(&self) -> io::Result<()> {
+        self.with_registry(Registry::finish_stream)
+    }
+
     /// Writes the registry's event stream as CSV (see
     /// [`Registry::write_csv`]).
     ///

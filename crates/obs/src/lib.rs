@@ -14,8 +14,12 @@
 //!    [histograms](Handle::observe) borrowing the `bz-wsn` bucketing
 //!    idiom.
 //! 3. **Exporters** — [`Handle::write_jsonl`] / [`Handle::write_csv`] for
-//!    machines plus a human [`Handle::summary_table`]; formats are
-//!    documented in `docs/OBSERVABILITY.md`.
+//!    machines plus a human [`Handle::summary_table`]; long runs can
+//!    switch to streaming export with [`Handle::stream_to`] (events are
+//!    written through as they happen, unbounded by [`MAX_EVENTS`]), and
+//!    [`flame::collapsed_stacks`] folds the span stream into
+//!    flamegraph-ready collapsed stacks; formats are documented in
+//!    `docs/OBSERVABILITY.md`.
 //!
 //! The API is **instance-first**: all state lives behind a [`Handle`], and
 //! instrumented components (the event queue, the channel, the controllers,
@@ -60,12 +64,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod flame;
 mod handle;
 mod hist;
 mod key;
 mod registry;
 mod span;
 
+pub use flame::collapsed_stacks;
 pub use handle::Handle;
 pub use hist::{FixedHistogram, DEFAULT_BUCKETS};
 pub use key::MetricKey;
@@ -161,6 +167,23 @@ pub fn write_jsonl<W: Write>(out: W) -> io::Result<()> {
 /// Returns any I/O error from `out`.
 pub fn write_csv<W: Write>(out: W) -> io::Result<()> {
     Handle::global().write_csv(out)
+}
+
+/// Switches the global registry to streaming JSONL export (see
+/// [`Registry::stream_to`]): events are written to `sink` as they are
+/// recorded instead of being buffered against [`MAX_EVENTS`].
+pub fn stream_to(sink: Box<dyn Write + Send>) {
+    Handle::global().stream_to(sink);
+}
+
+/// Ends global streaming and writes the totals tail (see
+/// [`Registry::finish_stream`]).
+///
+/// # Errors
+///
+/// Returns the first error hit while streaming, or any tail-write error.
+pub fn finish_stream() -> io::Result<()> {
+    Handle::global().finish_stream()
 }
 
 /// Renders the human-readable end-of-run summary of the global registry.

@@ -80,6 +80,22 @@ pub struct Snapshot {
     pub dropped_events: u64,
 }
 
+/// An open streaming JSONL destination (see [`Registry::stream_to`]).
+struct StreamSink {
+    sink: Box<dyn Write + Send>,
+    /// First write error, reported back at [`Registry::finish_stream`];
+    /// once set, further event writes are skipped.
+    error: Option<io::Error>,
+}
+
+impl std::fmt::Debug for StreamSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamSink")
+            .field("error", &self.error)
+            .finish_non_exhaustive()
+    }
+}
+
 /// The mutable store behind the crate's global facade. It is a plain
 /// struct so unit tests (and alternative embeddings) can drive one
 /// directly without touching process-global state.
@@ -91,6 +107,7 @@ pub struct Registry {
     spans: BTreeMap<MetricKey, SpanStats>,
     events: Vec<Event>,
     dropped_events: u64,
+    stream: Option<StreamSink>,
 }
 
 impl Registry {
@@ -101,11 +118,64 @@ impl Registry {
     }
 
     fn push_event(&mut self, event: Event) {
+        if let Some(stream) = &mut self.stream {
+            if stream.error.is_none() {
+                if let Err(e) = write_event_line(&mut stream.sink, &event) {
+                    stream.error = Some(e);
+                }
+            }
+            return;
+        }
         if self.events.len() < MAX_EVENTS {
             self.events.push(event);
         } else {
             self.dropped_events = self.dropped_events.saturating_add(1);
         }
+    }
+
+    /// Switches the registry to streaming export: every event recorded
+    /// from now on is written to `sink` as a JSONL line immediately
+    /// instead of being buffered (so long endurance runs are not bounded
+    /// by [`MAX_EVENTS`]). Any events already buffered are flushed to the
+    /// sink first, in record order. Close with
+    /// [`Registry::finish_stream`], which appends the same totals tail
+    /// [`Registry::write_jsonl`] produces — a streamed export of a
+    /// deterministic run is byte-identical to the buffered one.
+    pub fn stream_to(&mut self, sink: Box<dyn Write + Send>) {
+        let mut stream = StreamSink { sink, error: None };
+        for event in self.events.drain(..) {
+            if stream.error.is_none() {
+                if let Err(e) = write_event_line(&mut stream.sink, &event) {
+                    stream.error = Some(e);
+                }
+            }
+        }
+        self.stream = Some(stream);
+    }
+
+    /// Whether the registry is currently streaming events to a sink.
+    #[must_use]
+    pub fn is_streaming(&self) -> bool {
+        self.stream.is_some()
+    }
+
+    /// Ends streaming: writes the totals tail (counter/gauge/histogram/
+    /// span totals and the meta line), flushes, and drops the sink. The
+    /// registry reverts to buffered recording.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error hit while streaming events, or any error
+    /// from writing the tail. A no-op `Ok(())` if no stream was open.
+    pub fn finish_stream(&mut self) -> io::Result<()> {
+        let Some(mut stream) = self.stream.take() else {
+            return Ok(());
+        };
+        if let Some(error) = stream.error.take() {
+            return Err(error);
+        }
+        self.write_totals(&mut stream.sink)?;
+        stream.sink.flush()
     }
 
     /// Adds `delta` to the counter `name`, saturating at `u64::MAX`.
@@ -193,30 +263,14 @@ impl Registry {
     /// Returns any I/O error from `out`.
     pub fn write_jsonl<W: Write>(&self, mut out: W) -> io::Result<()> {
         for event in &self.events {
-            match event {
-                Event::Counter { name, t_ms, value } => writeln!(
-                    out,
-                    "{{\"kind\":\"counter\",\"name\":\"{}\",\"t_ms\":{t_ms},\"value\":{value}}}",
-                    escape(name)
-                )?,
-                Event::Gauge { name, t_ms, value } => writeln!(
-                    out,
-                    "{{\"kind\":\"gauge\",\"name\":\"{}\",\"t_ms\":{t_ms},\"value\":{}}}",
-                    escape(name),
-                    json_f64(*value)
-                )?,
-                Event::Span {
-                    name,
-                    t_ms,
-                    sim_ms,
-                    depth,
-                } => writeln!(
-                    out,
-                    "{{\"kind\":\"span\",\"name\":\"{}\",\"t_ms\":{t_ms},\"sim_ms\":{sim_ms},\"depth\":{depth}}}",
-                    escape(name)
-                )?,
-            }
+            write_event_line(&mut out, event)?;
         }
+        self.write_totals(&mut out)
+    }
+
+    /// The per-key totals tail shared by [`Registry::write_jsonl`] and
+    /// [`Registry::finish_stream`], in sorted key order.
+    fn write_totals<W: Write>(&self, out: &mut W) -> io::Result<()> {
         for (name, value) in &self.counters {
             writeln!(
                 out,
@@ -348,6 +402,34 @@ impl Registry {
     }
 }
 
+/// Serializes one event as its JSONL line (shared by the buffered
+/// exporter and the streaming path, so both emit identical bytes).
+fn write_event_line<W: Write>(out: &mut W, event: &Event) -> io::Result<()> {
+    match event {
+        Event::Counter { name, t_ms, value } => writeln!(
+            out,
+            "{{\"kind\":\"counter\",\"name\":\"{}\",\"t_ms\":{t_ms},\"value\":{value}}}",
+            escape(name)
+        ),
+        Event::Gauge { name, t_ms, value } => writeln!(
+            out,
+            "{{\"kind\":\"gauge\",\"name\":\"{}\",\"t_ms\":{t_ms},\"value\":{}}}",
+            escape(name),
+            json_f64(*value)
+        ),
+        Event::Span {
+            name,
+            t_ms,
+            sim_ms,
+            depth,
+        } => writeln!(
+            out,
+            "{{\"kind\":\"span\",\"name\":\"{}\",\"t_ms\":{t_ms},\"sim_ms\":{sim_ms},\"depth\":{depth}}}",
+            escape(name)
+        ),
+    }
+}
+
 /// Escapes a metric key for embedding in a JSON string literal.
 fn escape(name: &str) -> String {
     if name
@@ -472,6 +554,93 @@ mod tests {
         assert_eq!(lines.len(), 3);
         assert_eq!(lines[0], "t_ms,kind,name,value,sim_ms,depth");
         assert_eq!(lines[2], "2,span,s,,1000,0");
+    }
+
+    /// A cloneable byte sink for inspecting what a stream wrote.
+    #[derive(Clone, Default)]
+    struct SharedBuf(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+
+    impl SharedBuf {
+        fn bytes(&self) -> Vec<u8> {
+            self.0.lock().unwrap().clone()
+        }
+    }
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn record_sample(registry: &mut Registry) {
+        registry.counter_add("wsn.packets.sent", 3);
+        registry.gauge_set("thermal.chiller.radiant_w", 2_000, 145.25);
+        registry.observe("wsn.btadpt.send_period_s", DEFAULT_BUCKETS, 2.0);
+        registry.span_complete("core.control_tick", 5_000, 10, 1, 12_345);
+        registry.record_counters(60_000);
+    }
+
+    #[test]
+    fn streamed_export_matches_the_buffered_bytes() {
+        let mut buffered = Registry::new();
+        record_sample(&mut buffered);
+        let mut expected = Vec::new();
+        buffered.write_jsonl(&mut expected).unwrap();
+
+        let sink = SharedBuf::default();
+        let mut streaming = Registry::new();
+        streaming.stream_to(Box::new(sink.clone()));
+        assert!(streaming.is_streaming());
+        record_sample(&mut streaming);
+        // Streamed events are written through, not buffered.
+        assert!(streaming.snapshot().events.is_empty());
+        streaming.finish_stream().unwrap();
+        assert!(!streaming.is_streaming());
+        assert_eq!(sink.bytes(), expected);
+    }
+
+    #[test]
+    fn stream_to_flushes_already_buffered_events_first() {
+        let mut buffered = Registry::new();
+        record_sample(&mut buffered);
+        buffered.gauge_set("late", 70_000, 1.0);
+        let mut expected = Vec::new();
+        buffered.write_jsonl(&mut expected).unwrap();
+
+        let sink = SharedBuf::default();
+        let mut registry = Registry::new();
+        record_sample(&mut registry);
+        registry.stream_to(Box::new(sink.clone()));
+        registry.gauge_set("late", 70_000, 1.0);
+        registry.finish_stream().unwrap();
+        assert_eq!(sink.bytes(), expected);
+    }
+
+    #[test]
+    fn finish_stream_reports_the_first_write_error() {
+        struct Failing;
+        impl Write for Failing {
+            fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+                Err(io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut registry = Registry::new();
+        registry.stream_to(Box::new(Failing));
+        registry.gauge_set("g", 0, 1.0);
+        registry.gauge_set("g", 1, 2.0);
+        let err = registry.finish_stream().unwrap_err();
+        assert_eq!(err.to_string(), "disk full");
+        // And the registry is usable (buffered) again afterwards.
+        registry.gauge_set("g", 2, 3.0);
+        assert_eq!(registry.snapshot().events.len(), 1);
     }
 
     #[test]

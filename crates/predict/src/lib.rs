@@ -1,0 +1,46 @@
+//! Occupancy-aware model-predictive control for the BubbleZERO
+//! reproduction.
+//!
+//! The paper's controllers (§III) are purely reactive: they regulate the
+//! latest sensor picture with PIDs and heuristics. This crate adds a
+//! *predictive* layer that plugs into the same closed loop through the
+//! [`bz_core::strategy::ControlStrategy`] seam:
+//!
+//! - [`forecast`] — an online per-subspace occupancy profiler (an
+//!   exponentially-weighted time-of-day histogram) that learns the
+//!   building's arrival/departure pattern from the live occupancy stream;
+//! - [`identify`] — recursive-least-squares identification of a
+//!   reduced-order thermal rate model per subspace, fitted to the
+//!   **sensed** room-temperature trajectory (never privileged plant
+//!   state) and gated by the supervisor's trust verdicts;
+//! - [`optimize`] — a receding-horizon [`optimize::Plan`] over discrete
+//!   radiant flow scales and fan caps, found by projected coordinate
+//!   descent against predicted chiller/pump/fan energy plus a comfort
+//!   penalty, with a hard dew-margin projection
+//!   ([`optimize::project_dew_safe`]) applied last to every emitted plan;
+//! - [`strategy`] — [`strategy::MpcStrategy`], the `ControlStrategy`
+//!   wiring all three into the `bz-core` cycle. With `horizon == 0` it
+//!   delegates everything and a run is byte-identical to the reactive
+//!   baseline;
+//! - [`mod@compare`] — a same-seed head-to-head runner reporting electrical
+//!   energy, occupied comfort-violation minutes, and condensate for MPC
+//!   vs the reactive baseline.
+//!
+//! Everything is deterministic: simulation time drives all estimators,
+//! and per-run isolated [`bz_obs::Handle`]s keep metric exports
+//! byte-stable across re-runs and thread interleavings.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compare;
+pub mod forecast;
+pub mod identify;
+pub mod optimize;
+pub mod strategy;
+
+pub use compare::{compare, ComparisonReport, MpcScenario, StrategyRun};
+pub use forecast::{ForecastConfig, OccupancyForecaster};
+pub use identify::{IdentifyConfig, ZoneIdentifier};
+pub use optimize::{project_dew_safe, HorizonProblem, Plan};
+pub use strategy::{MpcConfig, MpcStrategy};

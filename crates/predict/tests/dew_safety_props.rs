@@ -1,0 +1,103 @@
+//! Property test: no emitted plan ever commands radiant flow into a
+//! dew-risk step. Whatever the optimizer decided and whatever the
+//! (arbitrary, possibly garbage) surface and dew forecasts say, after
+//! [`project_dew_safe`] runs, every (step, panel) slot whose predicted
+//! surface temperature is not provably above `dew + margin` carries
+//! radiant scale exactly 0.
+
+use bz_predict::optimize::{project_dew_safe, Plan, RADIANT_SCALES};
+use bz_thermal::airbox::FanLevel;
+use proptest::prelude::*;
+
+/// Decodes a generated `(selector, magnitude)` pair into a forecast
+/// value, mixing the special values a broken estimator can emit.
+fn decode(selector: u8, magnitude: f64) -> f64 {
+    match selector % 6 {
+        0 => f64::NAN,
+        1 => f64::INFINITY,
+        2 => f64::NEG_INFINITY,
+        _ => magnitude,
+    }
+}
+
+proptest! {
+    #[test]
+    fn projected_plans_never_command_flow_into_a_dew_risk_step(
+        scales in proptest::collection::vec((0usize..5, 0usize..5), 1..24),
+        surface_raw in proptest::collection::vec(((0u8..6, 10.0f64..35.0), (0u8..6, 10.0f64..35.0)), 0..24),
+        dew_raw in proptest::collection::vec(((0u8..6, 10.0f64..30.0), (0u8..6, 10.0f64..30.0)), 0..24),
+        margin_k in 0.0f64..2.0,
+    ) {
+        // An arbitrary optimizer outcome over the discrete scale set.
+        let mut plan = Plan {
+            start_s: 0.0,
+            step_s: 120.0,
+            radiant_scale: scales
+                .iter()
+                .map(|&(a, b)| [RADIANT_SCALES[a], RADIANT_SCALES[b]])
+                .collect(),
+            fan_cap: vec![[FanLevel::L4; 4]; scales.len()],
+        };
+        let surface: Vec<[f64; 2]> = surface_raw
+            .iter()
+            .map(|&((sa, ma), (sb, mb))| [decode(sa, ma), decode(sb, mb)])
+            .collect();
+        let dew: Vec<[f64; 2]> = dew_raw
+            .iter()
+            .map(|&((sa, ma), (sb, mb))| [decode(sa, ma), decode(sb, mb)])
+            .collect();
+
+        project_dew_safe(&mut plan, &surface, &dew, margin_k);
+
+        for (j, step_scales) in plan.radiant_scale.iter().enumerate() {
+            for (panel, &scale) in step_scales.iter().enumerate() {
+                let provably_safe = match (surface.get(j), dew.get(j)) {
+                    (Some(s), Some(d)) => {
+                        s[panel].is_finite()
+                            && d[panel].is_finite()
+                            && s[panel] > d[panel] + margin_k
+                    }
+                    _ => false,
+                };
+                if !provably_safe {
+                    prop_assert_eq!(
+                        scale,
+                        0.0,
+                        "step {} panel {} commands flow without a safe forecast \
+                         (surface {:?}, dew {:?}, margin {})",
+                        j,
+                        panel,
+                        surface.get(j),
+                        dew.get(j),
+                        margin_k
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn projection_is_idempotent(
+        scales in proptest::collection::vec((0usize..5, 0usize..5), 1..16),
+        surface in proptest::collection::vec((10.0f64..35.0, 10.0f64..35.0), 0..16),
+        dew in proptest::collection::vec((14.0f64..26.0, 14.0f64..26.0), 0..16),
+        margin_k in 0.0f64..2.0,
+    ) {
+        let mut plan = Plan {
+            start_s: 0.0,
+            step_s: 60.0,
+            radiant_scale: scales
+                .iter()
+                .map(|&(a, b)| [RADIANT_SCALES[a], RADIANT_SCALES[b]])
+                .collect(),
+            fan_cap: vec![[FanLevel::L4; 4]; scales.len()],
+        };
+        let surface: Vec<[f64; 2]> = surface.iter().map(|&(a, b)| [a, b]).collect();
+        let dew: Vec<[f64; 2]> = dew.iter().map(|&(a, b)| [a, b]).collect();
+        project_dew_safe(&mut plan, &surface, &dew, margin_k);
+        let once = plan.clone();
+        let zeroed_again = project_dew_safe(&mut plan, &surface, &dew, margin_k);
+        prop_assert_eq!(zeroed_again, 0, "second projection found new work");
+        prop_assert_eq!(plan, once);
+    }
+}

@@ -55,6 +55,18 @@ impl WeatherConfig {
             co2: 410.0,
         }
     }
+
+    /// The deterministic (mean + diurnal) outdoor temperature at `now`,
+    /// °C — the weather process of [`Weather::sample`] with the
+    /// stochastic wander stripped out. This is the read-only forecast
+    /// hook `bz-predict` rolls its horizon against: a predictor may know
+    /// the climate, but not the realized noise.
+    #[must_use]
+    pub fn nominal_temperature(&self, now: SimTime) -> f64 {
+        let hour = self.start_hour + now.as_hours_f64();
+        let phase = (hour - 14.5) / 24.0 * std::f64::consts::TAU;
+        self.mean_temperature + self.diurnal_amplitude * phase.cos()
+    }
 }
 
 /// Synthetic outdoor weather process.
@@ -170,6 +182,18 @@ mod tests {
         // 2–4 K and never run away.
         assert!(max - min > 1.5, "span {}", max - min);
         assert!(max - min < 5.0, "span {}", max - min);
+    }
+
+    #[test]
+    fn nominal_temperature_matches_the_wanderless_process() {
+        let mut config = WeatherConfig::singapore_afternoon();
+        config.wander_sd = 0.0;
+        let mut w = Weather::new(config, Rng::seed_from(5));
+        for i in 0..48 {
+            let t = SimTime::from_mins(i * 30);
+            let sampled = w.sample(t).temperature.get();
+            assert!((sampled - config.nominal_temperature(t)).abs() < 1e-9);
+        }
     }
 
     #[test]

@@ -170,6 +170,38 @@ impl ZoneParams {
     pub fn heat_capacity(&self, temperature: Celsius) -> f64 {
         self.air_mass(temperature) * CP_DRY_AIR * self.thermal_mass_factor
     }
+
+    /// Physics-derived prior for a reduced-order *rate* model of the
+    /// zone, used to seed recursive least squares in `bz-predict` before
+    /// any sensed data has arrived (read-only calibration hook — the
+    /// identifier never reads live zone state).
+    ///
+    /// Returns `[θ_rad, θ_vent, θ_env, θ_occ, θ_bias]` for the surrogate
+    ///
+    /// ```text
+    /// dT/dt ≈ θ_rad·u_rad + θ_vent·u_vent + θ_env·(T_out − T)
+    ///         + θ_occ·occupants + θ_bias      [K/s]
+    /// ```
+    ///
+    /// where `u_rad ∈ [0, 1]` is normalized radiant loop flow,
+    /// `u_vent` is airbox fan flow in m³/s, `radiant_capacity_w` is the
+    /// sensible extraction this subspace sees at full radiant flow, and
+    /// `occupant_sensible_w` is one occupant's sensible gain.
+    #[must_use]
+    pub fn surrogate_prior(&self, radiant_capacity_w: f64, occupant_sensible_w: f64) -> [f64; 5] {
+        // Nominal supply-to-room delta for ventilation air; the airboxes
+        // deliver dehumidified air a few kelvin below the room.
+        const VENT_SUPPLY_DELTA_K: f64 = 5.0;
+        let reference = Celsius::new(25.0);
+        let capacity = self.heat_capacity(reference);
+        [
+            -radiant_capacity_w / capacity,
+            -VENT_SUPPLY_DELTA_K * dry_air_density(reference) * CP_DRY_AIR / capacity,
+            self.envelope_ua / capacity,
+            occupant_sensible_w / capacity,
+            self.internal_gain_w / capacity,
+        ]
+    }
 }
 
 /// Per-step exogenous inputs applied to a zone by the plant assembly.
@@ -349,6 +381,22 @@ mod tests {
         assert_eq!(SubspaceId::S2.panel(), 0);
         assert_eq!(SubspaceId::S3.panel(), 1);
         assert_eq!(SubspaceId::S4.panel(), 1);
+    }
+
+    #[test]
+    fn surrogate_prior_has_physical_signs_and_scale() {
+        let params = ZoneParams::bubble_zero_subspace();
+        let [rad, vent, env, occ, bias] = params.surrogate_prior(240.0, 70.0);
+        // Cooling inputs pull the temperature down; loads push it up.
+        assert!(rad < 0.0 && vent < 0.0);
+        assert!(env > 0.0 && occ > 0.0 && bias > 0.0);
+        // Full radiant flow on ~54 kJ/K of effective mass: a few mK/s.
+        assert!((-rad - 240.0 / params.heat_capacity(Celsius::new(25.0))).abs() < 1e-12);
+        assert!(-rad > 1e-3 && -rad < 1e-2, "θ_rad {rad}");
+        // Envelope coupling is UA/C.
+        assert!(
+            (env - params.envelope_ua / params.heat_capacity(Celsius::new(25.0))).abs() < 1e-12
+        );
     }
 
     #[test]
