@@ -8,6 +8,7 @@
 #![warn(missing_docs)]
 
 pub mod sweep;
+pub mod throughput;
 
 use std::fs;
 use std::path::PathBuf;

@@ -80,6 +80,7 @@ impl Scenario {
 pub const GRID_KEYS: &[&str] = &[
     "dew-margin-k",
     "control-period-s",
+    "ac-period-s",
     "residual-loss",
     "bt-fixed",
     "occupancy-rate",
@@ -218,6 +219,11 @@ pub struct RunSummary {
     pub packets_sent: u64,
     /// Total electrical energy (chillers + pumps + fans), kJ.
     pub energy_kj: f64,
+    /// Whole-run coefficient of performance: heat removed (radiant +
+    /// ventilation) over electrical energy spent; 0 when nothing ran.
+    /// The COP-style sweeps (`bzctl cop` scenarios, strategy
+    /// comparisons) read efficiency off this column directly.
+    pub cop: f64,
 }
 
 /// The outcome of one run: its summary plus the full per-run metrics
@@ -299,6 +305,15 @@ fn apply_params(config: &mut SystemConfig, params: &GridPoint, minutes: u64) -> 
                     return Err("control-period-s must be positive".to_owned());
                 }
                 config.control_period = SimDuration::from_secs(secs);
+            }
+            "ac-period-s" => {
+                let secs: u64 = value
+                    .parse()
+                    .map_err(|_| format!("grid value '{value}' for '{key}' is not an integer"))?;
+                if secs == 0 {
+                    return Err("ac-period-s must be positive".to_owned());
+                }
+                config.ac_period = SimDuration::from_secs(secs);
             }
             "residual-loss" => config.network.residual_loss = parse_f64()?,
             "bt-fixed" => {
@@ -402,6 +417,7 @@ pub fn run_one(spec: &RunSpec) -> Result<RunResult, String> {
         + meters.vent_chiller.get()
         + meters.pumps.get()
         + meters.fans.get();
+    let removed_j = meters.radiant_removed.get() + meters.vent_removed.get();
     let summary = RunSummary {
         t_end_c: plant.zone_temperature(SubspaceId::S1).get(),
         dew_end_c: plant.zone_dew_point(SubspaceId::S1).get(),
@@ -409,6 +425,11 @@ pub fn run_one(spec: &RunSpec) -> Result<RunResult, String> {
         delivery_pct: 100.0 * stats.delivery_ratio(),
         packets_sent: stats.offered,
         energy_kj: energy_j / 1_000.0,
+        cop: if energy_j > 0.0 {
+            removed_j / energy_j
+        } else {
+            0.0
+        },
     };
     Ok(RunResult {
         index: spec.index,
@@ -471,12 +492,12 @@ fn ordered(results: &[RunResult]) -> Vec<&RunResult> {
 pub fn report_csv(results: &[RunResult]) -> String {
     let mut out = String::from(
         "run,label,scenario,seed,params,t_end_c,dew_end_c,condensate_kg,delivery_pct,\
-         packets_sent,energy_kj\n",
+         packets_sent,energy_kj,cop\n",
     );
     for r in ordered(results) {
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{:.6},{:.6},{:.9},{:.3},{},{:.3}",
+            "{},{},{},{},{},{:.6},{:.6},{:.9},{:.3},{},{:.3},{:.4}",
             r.index,
             r.label,
             r.scenario,
@@ -488,6 +509,7 @@ pub fn report_csv(results: &[RunResult]) -> String {
             r.summary.delivery_pct,
             r.summary.packets_sent,
             r.summary.energy_kj,
+            r.summary.cop,
         );
     }
     out
@@ -503,7 +525,7 @@ pub fn report_jsonl(results: &[RunResult]) -> String {
             out,
             "{{\"run\":{},\"label\":\"{}\",\"scenario\":\"{}\",\"seed\":{},\"params\":\"{}\",\
              \"t_end_c\":{:.6},\"dew_end_c\":{:.6},\"condensate_kg\":{:.9},\
-             \"delivery_pct\":{:.3},\"packets_sent\":{},\"energy_kj\":{:.3}}}",
+             \"delivery_pct\":{:.3},\"packets_sent\":{},\"energy_kj\":{:.3},\"cop\":{:.4}}}",
             r.index,
             r.label,
             r.scenario,
@@ -515,6 +537,7 @@ pub fn report_jsonl(results: &[RunResult]) -> String {
             r.summary.delivery_pct,
             r.summary.packets_sent,
             r.summary.energy_kj,
+            r.summary.cop,
         );
     }
     out
@@ -659,6 +682,57 @@ mod tests {
     }
 
     #[test]
+    fn ac_period_axis_parses_and_sets_the_period() {
+        let grid = parse_grid("ac-period-s=2,4").unwrap();
+        assert_eq!(grid.len(), 2);
+
+        let plant = PlantConfig::bubble_zero_lab();
+        let mut config = SystemConfig::paper_deployment(plant);
+        let point = vec![("ac-period-s".to_owned(), "4".to_owned())];
+        apply_params(&mut config, &point, 1).unwrap();
+        assert_eq!(config.ac_period, SimDuration::from_secs(4));
+    }
+
+    #[test]
+    fn ac_period_axis_rejects_zero_and_garbage() {
+        let plant = PlantConfig::bubble_zero_lab();
+        let mut config = SystemConfig::paper_deployment(plant.clone());
+        let zero = vec![("ac-period-s".to_owned(), "0".to_owned())];
+        let err = apply_params(&mut config, &zero, 1).unwrap_err();
+        assert!(err.contains("must be positive"), "unexpected error: {err}");
+
+        let mut config = SystemConfig::paper_deployment(plant);
+        let garbage = vec![("ac-period-s".to_owned(), "fast".to_owned())];
+        let err = apply_params(&mut config, &garbage, 1).unwrap_err();
+        assert!(err.contains("not an integer"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn reports_include_a_cop_column() {
+        let results = vec![RunResult {
+            index: 0,
+            label: "trial-s0001".to_owned(),
+            seed: 1,
+            scenario: "trial",
+            params: String::new(),
+            summary: RunSummary {
+                t_end_c: 24.0,
+                dew_end_c: 17.0,
+                condensate_kg: 0.0,
+                delivery_pct: 99.0,
+                packets_sent: 1000,
+                energy_kj: 150.0,
+                cop: 4.5,
+            },
+            metrics_jsonl: Vec::new(),
+        }];
+        let csv = report_csv(&results);
+        assert!(csv.lines().next().unwrap().ends_with("energy_kj,cop"));
+        assert!(csv.contains(",4.5000"), "missing cop value:\n{csv}");
+        assert!(report_jsonl(&results).contains("\"cop\":4.5000"));
+    }
+
+    #[test]
     fn new_axes_parse_and_expand() {
         let grid =
             parse_grid("occupancy-rate=0.0,0.5;weather-seed=1,2;strategy=reactive,mpc").unwrap();
@@ -729,6 +803,7 @@ mod tests {
                 delivery_pct: 99.0,
                 packets_sent: 10,
                 energy_kj: 120.0,
+                cop: 4.5,
             },
             metrics_jsonl: Vec::new(),
         };

@@ -49,8 +49,13 @@ COMMANDS:
                  --runs N (4)  --seed-base S  --minutes N (5)
                  --grid \"key=v1,v2;key2=v3\"  --jobs N (1)
                  --out-dir DIR  --metrics-out PATH  --quiet
-                 grid keys: dew-margin-k control-period-s residual-loss
-                 bt-fixed occupancy-rate weather-seed strategy
+                 grid keys: dew-margin-k control-period-s ac-period-s
+                 residual-loss bt-fixed occupancy-rate weather-seed
+                 strategy
+    bench      wall-clock performance measurements
+                 throughput  --minutes N (1920)  --seed S
+                 --json-out PATH (BENCH_0007.json)  --baseline F
+                 --check --min-sim-per-wall F
     chaos      full-stack fault-injection run with a resilience report
                  --scenario PATH (bundled)  --minutes N  --seed S
                  --metrics-out PATH
@@ -85,6 +90,9 @@ byte-identical for any `--jobs` value.
 /// Returns an error for unknown commands, unknown flags, or unparsable
 /// flag values.
 pub fn run(command: &str, raw: Vec<String>) -> Result<String, ArgError> {
+    if command == "bench" {
+        return bench(raw);
+    }
     let args = Args::parse(raw)?;
     match command {
         "trial" => trial(&args),
@@ -623,6 +631,83 @@ fn sweep(args: &Args) -> Result<String, ArgError> {
     Ok(out)
 }
 
+/// `bzctl bench <name>`: wall-clock performance measurements. The only
+/// bench so far is `throughput`, which runs the bundled trial scenario
+/// with telemetry off, reports sim-seconds per wall-second, and writes
+/// the `BENCH_0007.json` record CI gates on (see docs/PERFORMANCE.md).
+fn bench(raw: Vec<String>) -> Result<String, ArgError> {
+    let mut raw = raw;
+    let which = if raw.first().is_some_and(|t| !t.starts_with("--")) {
+        raw.remove(0)
+    } else {
+        return Err(ArgError::new(
+            "usage: bzctl bench throughput [--minutes N] [--seed S] \
+             [--json-out PATH] [--baseline F] [--check --min-sim-per-wall F]",
+        ));
+    };
+    if which != "throughput" {
+        return Err(ArgError::new(format!(
+            "unknown bench '{which}' (expected: throughput)"
+        )));
+    }
+    let args = Args::parse(raw)?;
+    args.expect_only(&[
+        "minutes",
+        "seed",
+        "json-out",
+        "baseline",
+        "check",
+        "min-sim-per-wall",
+    ])?;
+    let minutes: u64 = args.get_or("minutes", bz_bench::throughput::DEFAULT_SIM_MINUTES)?;
+    if minutes == 0 {
+        return Err(ArgError::new("--minutes must be positive"));
+    }
+    let seed: u64 = args.get_or("seed", bz_bench::throughput::DEFAULT_SEED)?;
+    let baseline: f64 = args.get_or("baseline", f64::NAN)?;
+    let baseline = (!baseline.is_nan()).then_some(baseline);
+    let json_out = match args.get("json-out") {
+        Some(path) => Some(path.to_owned()),
+        None if args.flag("json-out") => {
+            return Err(ArgError::new("flag --json-out needs a value"))
+        }
+        None => Some("BENCH_0007.json".to_owned()),
+    };
+    let check = args.flag("check");
+    let floor: f64 = args.get_or("min-sim-per-wall", 0.0)?;
+    if check && floor <= 0.0 {
+        return Err(ArgError::new("--check needs --min-sim-per-wall FLOOR"));
+    }
+
+    let report = bz_bench::throughput::measure_trial(minutes, seed);
+    let mut out = report.summary_line();
+    out += "\n";
+    if let Some(base) = baseline {
+        out += &format!(
+            "baseline {base:.0} sim-s/wall-s, speedup {:.2}x\n",
+            report.sim_per_wall / base,
+        );
+    }
+    if let Some(path) = &json_out {
+        std::fs::write(path, report.to_json(baseline))
+            .map_err(|e| ArgError::new(format!("cannot write {path}: {e}")))?;
+        out += &format!("bench record written to {path}\n");
+    }
+    if check && report.sim_per_wall < floor {
+        return Err(ArgError::new(format!(
+            "throughput regression: {:.0} sim-s/wall-s is below the floor {floor:.0}",
+            report.sim_per_wall,
+        )));
+    }
+    if check {
+        out += &format!(
+            "check passed: {:.0} >= floor {floor:.0}\n",
+            report.sim_per_wall
+        );
+    }
+    Ok(out)
+}
+
 /// Loads a chaos scenario (the bundled acceptance scenario unless
 /// `--scenario PATH` points at a JSON file), applies any `--minutes` /
 /// `--seed` overrides, runs it, and prints the resilience report. The
@@ -884,6 +969,66 @@ mod tests {
         assert!(run("sweep", vec!["--grid".into(), "frobnicate=1".into()]).is_err());
         assert!(run("sweep", vec!["--scenario".into(), "nope".into()]).is_err());
         assert!(run("sweep", vec!["--metrics-out".into()]).is_err());
+    }
+
+    #[test]
+    fn bench_throughput_writes_the_json_record() {
+        let dir = std::env::temp_dir().join("bzctl-bench-throughput");
+        std::fs::create_dir_all(&dir).unwrap();
+        let json = dir.join("BENCH_test.json");
+        let out = run_ok(
+            "bench",
+            &[
+                "throughput",
+                "--minutes",
+                "1",
+                "--json-out",
+                json.to_str().unwrap(),
+                "--baseline",
+                "1",
+            ],
+        );
+        assert!(out.contains("throughput: 60 sim-seconds"));
+        assert!(out.contains("speedup"));
+        let record = std::fs::read_to_string(&json).unwrap();
+        assert!(record.contains("\"bench\": \"throughput\""));
+        assert!(record.contains("\"baseline_sim_per_wall\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bench_throughput_check_enforces_the_floor() {
+        let dir = std::env::temp_dir().join("bzctl-bench-floor");
+        std::fs::create_dir_all(&dir).unwrap();
+        let json = dir.join("BENCH_test.json");
+        let err = run(
+            "bench",
+            vec![
+                "throughput".into(),
+                "--minutes".into(),
+                "1".into(),
+                "--json-out".into(),
+                json.to_str().unwrap().into(),
+                "--check".into(),
+                "--min-sim-per-wall".into(),
+                "1e18".into(),
+            ],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("throughput regression"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bench_rejects_bad_inputs() {
+        assert!(run("bench", vec![]).is_err());
+        assert!(run("bench", vec!["frobnicate".into()]).is_err());
+        assert!(run(
+            "bench",
+            vec!["throughput".into(), "--minutes".into(), "0".into()]
+        )
+        .is_err());
+        assert!(run("bench", vec!["throughput".into(), "--check".into()]).is_err());
     }
 
     #[test]

@@ -21,7 +21,7 @@ use bz_thermal::sensors::SensorTarget;
 use bz_thermal::zone::SubspaceId;
 use bz_wsn::ac_schedule::AcScheduler;
 use bz_wsn::adaptive::{AdaptiveConfig, BtAdaptive, FixedSchedule};
-use bz_wsn::channel::{Network, NetworkConfig};
+use bz_wsn::channel::{Delivery, Network, NetworkConfig};
 use bz_wsn::energy::{EnergyLedger, EnergyModel};
 use bz_wsn::faults::WsnFaultSchedule;
 use bz_wsn::histogram::Stability;
@@ -148,6 +148,9 @@ struct BtStream {
     scheduler: StreamScheduler,
     sampling_period: SimDuration,
     next_sample: SimTime,
+    /// Pre-built `wsn.node.<id>.sent` key so the per-transmission counter
+    /// update allocates nothing (see [`bz_obs::Handle::counter_inc_ref`]).
+    sent_key: bz_obs::MetricKey,
 }
 
 /// One AC periodic broadcast source.
@@ -157,6 +160,8 @@ struct AcStream {
     kind: AcKind,
     scheduler: AcScheduler,
     next_fire: SimTime,
+    /// Pre-built `wsn.node.<id>.sent` key (same role as on [`BtStream`]).
+    sent_key: bz_obs::MetricKey,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -226,6 +231,11 @@ pub struct BubbleZeroSystem {
     bt_ledgers: Vec<EnergyLedger>,
     ac_streams: Vec<AcStream>,
     events: EventQueue<SystemEvent>,
+    /// Reused scratch buffer for the per-second event drain — cleared and
+    /// refilled each tick so steady-state stepping allocates nothing.
+    event_buf: Vec<(SimTime, SystemEvent)>,
+    /// Reused scratch for the frames the network delivers each second.
+    delivery_buf: Vec<Delivery>,
     commands: ActuatorCommands,
     now: SimTime,
     next_control: SimTime,
@@ -312,6 +322,7 @@ impl BubbleZeroSystem {
                     // Stagger initial sampling by node id to avoid a
                     // synchronized burst at t=0.
                     next_sample: SimTime::from_millis(u64::from(role.node_id().get()) * 53),
+                    sent_key: format!("wsn.node.{}.sent", role.node_id().get()).into(),
                 });
             }
         };
@@ -378,6 +389,7 @@ impl BubbleZeroSystem {
                 kind,
                 scheduler,
                 next_fire: SimTime::ZERO,
+                sent_key: format!("wsn.node.{}.sent", node.get()).into(),
             });
         };
         add_ac(
@@ -423,6 +435,8 @@ impl BubbleZeroSystem {
             bt_ledgers,
             ac_streams,
             events,
+            event_buf: Vec::new(),
+            delivery_buf: Vec::new(),
             commands: ActuatorCommands::all_off(),
             now: SimTime::ZERO,
             next_control: SimTime::ZERO,
@@ -636,39 +650,44 @@ impl BubbleZeroSystem {
         // Drain everything strictly before `next` in global time order;
         // each handled event reschedules its stream's next occurrence.
         let deadline = SimTime::from_millis(next.as_millis() - 1);
-        while let Some((at, event)) = self.events.pop_due(deadline) {
-            match event {
-                SystemEvent::BtSample(i) => {
-                    self.sample_bt_stream(i, at);
-                    let period = self.bt_streams[i].sampling_period;
-                    self.bt_streams[i].next_sample = at + period;
-                    self.events.schedule(at + period, SystemEvent::BtSample(i));
+        if self.config.plant.scalar_reference {
+            // Reference path: the original one-pop-at-a-time loop.
+            while let Some((at, event)) = self.events.pop_due(deadline) {
+                self.handle_event(event, at);
+            }
+        } else {
+            // Fast path: batch-pop all due events into a reused buffer,
+            // then handle them. Every sampling/broadcast period in the
+            // deployment is >= 1 s, so handlers reschedule strictly past
+            // `deadline` and one drain per tick sees everything the
+            // reference loop would, in the same order; the outer loop
+            // catches the (config-space only) sub-second case.
+            let mut buf = std::mem::take(&mut self.event_buf);
+            loop {
+                buf.clear();
+                if self.events.drain_due_into(deadline, &mut buf) == 0 {
+                    break;
                 }
-                SystemEvent::AcFire(i) => {
-                    if at != self.ac_streams[i].next_fire {
-                        // Stale: a contention reschedule superseded this
-                        // firing while it sat on the queue.
-                        continue;
-                    }
-                    self.fire_ac_stream(i, at);
-                    let after = at + SimDuration::from_millis(1);
-                    let fire = self.ac_streams[i].scheduler.next_fire(after);
-                    self.ac_streams[i].next_fire = fire;
-                    self.events.schedule(fire, SystemEvent::AcFire(i));
+                for &(at, event) in &buf {
+                    self.handle_event(event, at);
                 }
             }
+            self.event_buf = buf;
         }
 
         self.now = next;
 
         // --- Deliveries and contention feedback -----------------------------
-        let deliveries = self.network.advance(self.now);
-        for delivery in deliveries {
+        let mut deliveries = std::mem::take(&mut self.delivery_buf);
+        deliveries.clear();
+        self.network.advance_into(self.now, &mut deliveries);
+        for delivery in &deliveries {
             if let Some(sniffer) = &mut self.sniffer {
-                sniffer.capture(&delivery);
+                sniffer.capture(delivery);
             }
             self.route(delivery.message, delivery.at);
         }
+        self.delivery_buf = deliveries;
         let failures = self.network.take_failures();
         for (message, failure) in failures {
             for (i, ac) in self.ac_streams.iter_mut().enumerate() {
@@ -707,6 +726,30 @@ impl BubbleZeroSystem {
         step_span.exit(self.now.as_millis());
     }
 
+    /// Handles one due device event and reschedules its stream.
+    fn handle_event(&mut self, event: SystemEvent, at: SimTime) {
+        match event {
+            SystemEvent::BtSample(i) => {
+                self.sample_bt_stream(i, at);
+                let period = self.bt_streams[i].sampling_period;
+                self.bt_streams[i].next_sample = at + period;
+                self.events.schedule(at + period, SystemEvent::BtSample(i));
+            }
+            SystemEvent::AcFire(i) => {
+                if at != self.ac_streams[i].next_fire {
+                    // Stale: a contention reschedule superseded this
+                    // firing while it sat on the queue.
+                    return;
+                }
+                self.fire_ac_stream(i, at);
+                let after = at + SimDuration::from_millis(1);
+                let fire = self.ac_streams[i].scheduler.next_fire(after);
+                self.ac_streams[i].next_fire = fire;
+                self.events.schedule(fire, SystemEvent::AcFire(i));
+            }
+        }
+    }
+
     /// The plant-side sensing element behind a stream binding.
     fn sensor_target(binding: SensorBinding) -> SensorTarget {
         match binding {
@@ -737,16 +780,23 @@ impl BubbleZeroSystem {
             self.bt_ledgers[device].record_sample(at);
             return;
         }
+        // Single-channel reads: each binding measures one channel of a
+        // two-channel sensor, so the unused sibling draw is skipped (the
+        // plant falls back to the full pair read whenever fault injection
+        // or scalar-reference mode needs it — bit-identity is proven by
+        // the plant's parity tests).
         let value = match binding {
             SensorBinding::CeilingTemp { panel, k } => {
-                self.plant.read_ceiling_sensor(panel, k).0.get()
+                self.plant.read_ceiling_sensor_temp(panel, k).get()
             }
             SensorBinding::CeilingHumidity { panel, k } => {
-                self.plant.read_ceiling_sensor(panel, k).1.get()
+                self.plant.read_ceiling_sensor_rh(panel, k).get()
             }
-            SensorBinding::RoomTemp(s) => self.plant.read_room(SubspaceId::from_index(s)).0.get(),
+            SensorBinding::RoomTemp(s) => {
+                self.plant.read_room_temp(SubspaceId::from_index(s)).get()
+            }
             SensorBinding::RoomHumidity(s) => {
-                self.plant.read_room(SubspaceId::from_index(s)).1.get()
+                self.plant.read_room_rh(SubspaceId::from_index(s)).get()
             }
             SensorBinding::Co2(s) => self.plant.read_co2(SubspaceId::from_index(s)).get(),
         };
@@ -780,20 +830,14 @@ impl BubbleZeroSystem {
             let stream = &self.bt_streams[index];
             let message =
                 Message::on_channel(stream.node, stream.data_type, stream.channel, value, at);
-            if self.obs.is_enabled() {
-                self.obs
-                    .counter_inc(format!("wsn.node.{}.sent", stream.node.get()));
-            }
+            self.obs.counter_inc_ref(&stream.sent_key);
             self.network.send(at, message);
         }
     }
 
     fn fire_ac_stream(&mut self, index: usize, at: SimTime) {
         let node = self.ac_streams[index].node;
-        if self.obs.is_enabled() {
-            self.obs
-                .counter_inc(format!("wsn.node.{}.sent", node.get()));
-        }
+        self.obs.counter_inc_ref(&self.ac_streams[index].sent_key);
         match self.ac_streams[index].kind {
             AcKind::SupplyTemp => {
                 let value = self.plant.read_supply_temp().get();

@@ -136,6 +136,22 @@ impl Handle {
         self.counter_add(name, 1);
     }
 
+    /// Adds `delta` to counter `name` without taking ownership of the
+    /// key: the key is cloned only on the counter's first update. Hot
+    /// loops that increment a per-entity key (e.g. `wsn.node.21.sent`)
+    /// hold the built key and call this to stay allocation-free.
+    pub fn counter_add_ref(&self, name: &MetricKey, delta: u64) {
+        if self.is_enabled() {
+            self.with_registry(|registry| registry.counter_add_ref(name, delta));
+        }
+    }
+
+    /// Adds one to counter `name` by reference (see
+    /// [`counter_add_ref`](Self::counter_add_ref)).
+    pub fn counter_inc_ref(&self, name: &MetricKey) {
+        self.counter_add_ref(name, 1);
+    }
+
     /// Sets gauge `name` to `value` at simulation time `t_ms`.
     pub fn gauge_set(&self, name: impl Into<MetricKey>, t_ms: u64, value: f64) {
         if self.is_enabled() {
@@ -252,6 +268,23 @@ mod tests {
         assert_eq!(a.snapshot().counters["c"], 3);
         assert_eq!(b.snapshot().counters["c"], 7);
         assert!(!a.same_registry(&b));
+    }
+
+    #[test]
+    fn counter_add_ref_matches_owned_updates() {
+        let by_ref = Handle::isolated();
+        let by_value = Handle::isolated();
+        let key: MetricKey = format!("wsn.node.{}.sent", 21).into();
+        for _ in 0..5 {
+            by_ref.counter_inc_ref(&key);
+            by_value.counter_inc(format!("wsn.node.{}.sent", 21));
+        }
+        by_ref.counter_add_ref(&key, 3);
+        by_value.counter_add(format!("wsn.node.{}.sent", 21), 3);
+        assert_eq!(
+            by_ref.snapshot().counters["wsn.node.21.sent"],
+            by_value.snapshot().counters["wsn.node.21.sent"]
+        );
     }
 
     #[test]

@@ -184,6 +184,17 @@ impl Registry {
         *slot = slot.saturating_add(delta);
     }
 
+    /// [`counter_add`](Self::counter_add) by reference: the key is cloned
+    /// only if the counter does not exist yet, so repeated updates against
+    /// a caller-held per-entity key never allocate.
+    pub fn counter_add_ref(&mut self, name: &MetricKey, delta: u64) {
+        if let Some(slot) = self.counters.get_mut(name.as_str()) {
+            *slot = slot.saturating_add(delta);
+        } else {
+            self.counter_add(name.clone(), delta);
+        }
+    }
+
     /// Sets gauge `name` to `value` and records a timestamped event.
     pub fn gauge_set(&mut self, name: impl Into<MetricKey>, t_ms: u64, value: f64) {
         let name = name.into();

@@ -25,7 +25,10 @@ thread_local! {
 #[derive(Debug)]
 pub struct SpanGuard {
     name: MetricKey,
-    wall_start: Instant,
+    /// Wall-clock entry instant; `None` for disabled guards, which skip
+    /// the clock read entirely — a disabled span must cost nothing on
+    /// the simulation hot path.
+    wall_start: Option<Instant>,
     sim_start_ms: u64,
     depth: u32,
     /// The registry to record into; `None` for guards minted while
@@ -46,7 +49,7 @@ impl SpanGuard {
         };
         Self {
             name,
-            wall_start: Instant::now(),
+            wall_start: sink.is_some().then(Instant::now),
             sim_start_ms: sim_now_ms,
             depth,
             sink,
@@ -64,7 +67,9 @@ impl SpanGuard {
             return;
         };
         DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
-        let wall_ns = self.wall_start.elapsed().as_nanos();
+        let wall_ns = self
+            .wall_start
+            .map_or(0, |started| started.elapsed().as_nanos());
         sink.with_registry(|registry| {
             registry.span_complete(
                 self.name.clone(),

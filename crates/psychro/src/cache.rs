@@ -1,0 +1,179 @@
+//! Cached Magnus saturation-pressure lookup.
+//!
+//! The Magnus curve [`saturation_vapor_pressure`] costs one `exp` per
+//! call. For analytics and benchmark workloads that evaluate it millions
+//! of times over a narrow band, [`SaturationCache`] trades one table
+//! build for O(1) interpolated lookups with a proven relative-error
+//! bound ([`SaturationCache::MAX_REL_ERROR`]).
+//!
+//! The cache is deterministic: the table is a pure function of the
+//! Magnus constants, so two caches always answer identically. It is
+//! **not** used on the simulation hot path — the tick loop keeps the
+//! exact scalar/batch kernels so metric exports stay bit-identical —
+//! but it is the reference design for consumers that can tolerate the
+//! documented tolerance, and `cargo bench -p bz-bench` quantifies what
+//! that tolerance buys.
+
+use crate::magnus::saturation_vapor_pressure;
+use crate::units::{Celsius, Pascals};
+
+/// Deterministic interpolation table over the Magnus saturation curve.
+#[derive(Debug, Clone)]
+pub struct SaturationCache {
+    /// Pre-evaluated `p_ws` at `MIN_C + i * STEP_C`.
+    table: Vec<f64>,
+}
+
+impl SaturationCache {
+    /// Lower edge of the cached band, °C. Covers everything the lab,
+    /// weather, and chiller loops produce with margin.
+    pub const MIN_C: f64 = -10.0;
+    /// Upper edge of the cached band, °C (the Magnus validity ceiling).
+    pub const MAX_C: f64 = 60.0;
+    /// Grid spacing, °C.
+    pub const STEP_C: f64 = 0.05;
+    /// Guaranteed relative-error bound of [`lookup`](Self::lookup)
+    /// inside the band, proven by `interpolation_error_stays_in_bound`.
+    ///
+    /// Linear interpolation of a convex curve over a step `h` has error
+    /// at most `h²·max|f''|/8`; for the Magnus curve on [−10, 60] °C
+    /// with `h = 0.05` K that works out to under 2×10⁻⁶ relative — the
+    /// constant here keeps an order-of-magnitude margin on top.
+    pub const MAX_REL_ERROR: f64 = 2e-5;
+
+    /// Number of grid points (inclusive of both edges).
+    fn len() -> usize {
+        let span = (Self::MAX_C - Self::MIN_C) / Self::STEP_C;
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let n = span.round() as usize;
+        n + 1
+    }
+
+    /// Builds the table by evaluating the exact Magnus curve at every
+    /// grid point.
+    #[must_use]
+    pub fn new() -> Self {
+        let table = (0..Self::len())
+            .map(|i| {
+                let t = Self::MIN_C + i as f64 * Self::STEP_C;
+                saturation_vapor_pressure(Celsius::new(t)).get()
+            })
+            .collect();
+        Self { table }
+    }
+
+    /// Interpolated saturation vapor pressure at `temperature`.
+    ///
+    /// Inside `[MIN_C, MAX_C]` the result is within
+    /// [`MAX_REL_ERROR`](Self::MAX_REL_ERROR) of the exact curve.
+    /// Outside the band the call falls back to the exact kernel, so the
+    /// cache never extrapolates.
+    #[must_use]
+    pub fn lookup(&self, temperature: Celsius) -> Pascals {
+        let t = temperature.get();
+        if !(Self::MIN_C..=Self::MAX_C).contains(&t) {
+            return saturation_vapor_pressure(temperature);
+        }
+        let pos = (t - Self::MIN_C) / Self::STEP_C;
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let i = (pos.floor() as usize).min(self.table.len() - 2);
+        let frac = pos - i as f64;
+        let lo = self.table[i];
+        let hi = self.table[i + 1];
+        Pascals::new(lo + (hi - lo) * frac)
+    }
+
+    /// Batch variant of [`lookup`](Self::lookup):
+    /// `out[i] = lookup(temps_c[i])` in Pa.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn lookup_batch(&self, temps_c: &[f64], out: &mut [f64]) {
+        assert_eq!(
+            temps_c.len(),
+            out.len(),
+            "batch kernel slices must have equal lengths"
+        );
+        for (t, o) in temps_c.iter().zip(out.iter_mut()) {
+            *o = self.lookup(Celsius::new(*t)).get();
+        }
+    }
+}
+
+impl Default for SaturationCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_the_expected_size() {
+        let cache = SaturationCache::new();
+        assert_eq!(cache.table.len(), 1401);
+    }
+
+    #[test]
+    fn grid_points_are_exact() {
+        let cache = SaturationCache::new();
+        for t in [-10.0, 0.0, 25.0, 60.0] {
+            let exact = saturation_vapor_pressure(Celsius::new(t)).get();
+            let cached = cache.lookup(Celsius::new(t)).get();
+            assert!(
+                (cached - exact).abs() / exact < 1e-12,
+                "grid point {t}°C: cached {cached}, exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn interpolation_error_stays_in_bound() {
+        // The exactness-tolerance proof: scan the band densely at
+        // off-grid points (11 interior offsets per step) and check every
+        // lookup against the exact Magnus kernel.
+        let cache = SaturationCache::new();
+        let mut worst = 0.0_f64;
+        let mut t = SaturationCache::MIN_C;
+        while t < SaturationCache::MAX_C {
+            for k in 1..12 {
+                let probe = t + SaturationCache::STEP_C * f64::from(k) / 12.0;
+                if probe >= SaturationCache::MAX_C {
+                    break;
+                }
+                let exact = saturation_vapor_pressure(Celsius::new(probe)).get();
+                let cached = cache.lookup(Celsius::new(probe)).get();
+                worst = worst.max((cached - exact).abs() / exact);
+            }
+            t += SaturationCache::STEP_C;
+        }
+        assert!(
+            worst < SaturationCache::MAX_REL_ERROR,
+            "worst relative error {worst:e} exceeds the documented bound"
+        );
+    }
+
+    #[test]
+    fn out_of_band_falls_back_to_exact() {
+        let cache = SaturationCache::new();
+        for t in [-30.0, 75.0] {
+            let exact = saturation_vapor_pressure(Celsius::new(t)).get();
+            let cached = cache.lookup(Celsius::new(t)).get();
+            assert_eq!(exact.to_bits(), cached.to_bits());
+        }
+    }
+
+    #[test]
+    fn batch_lookup_matches_scalar_lookup() {
+        let cache = SaturationCache::new();
+        let temps = [12.3, 24.7, 31.9];
+        let mut out = [0.0; 3];
+        cache.lookup_batch(&temps, &mut out);
+        for (t, o) in temps.iter().zip(out.iter()) {
+            assert_eq!(cache.lookup(Celsius::new(*t)).get().to_bits(), o.to_bits());
+        }
+    }
+}

@@ -26,6 +26,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
+pub mod cache;
 mod error;
 mod exergy;
 mod magnus;
@@ -33,6 +35,7 @@ mod moist_air;
 mod units;
 mod water;
 
+pub use cache::SaturationCache;
 pub use error::PsychroError;
 pub use exergy::{carnot_cop_cooling, carnot_cop_heating, exergy_of_heat, CarnotChiller};
 pub use magnus::{

@@ -116,6 +116,22 @@ impl Rng {
         (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
     }
 
+    /// Advances the state exactly as `count` discarded
+    /// [`standard_normal`](Self::standard_normal) draws would, without
+    /// paying for the `ln`/`sqrt`/`cos` evaluation.
+    ///
+    /// Box–Muller consumes exactly two raw draws per sample with no
+    /// rejection, so skipping is a fixed stride: callers that compute a
+    /// value only to throw it away (e.g. a sensor read whose sibling
+    /// channel is unused) can skip instead and leave the stream — and
+    /// therefore every later draw — bit-identical.
+    pub fn skip_normals(&mut self, count: usize) {
+        for _ in 0..count {
+            self.next_u64();
+            self.next_u64();
+        }
+    }
+
     /// A normal sample with the given `mean` and standard deviation `sd`.
     ///
     /// # Panics
@@ -215,6 +231,21 @@ mod tests {
         let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
         assert!((mean - 10.0).abs() < 0.05, "mean {mean}");
         assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn skip_normals_matches_discarded_draws_exactly() {
+        let mut skipped = Rng::seed_from(13);
+        let mut drawn = Rng::seed_from(13);
+        skipped.skip_normals(3);
+        for _ in 0..3 {
+            let _ = drawn.standard_normal();
+        }
+        assert_eq!(skipped, drawn);
+        // And the streams stay locked together afterwards.
+        for _ in 0..16 {
+            assert_eq!(skipped.next_u64(), drawn.next_u64());
+        }
     }
 
     #[test]

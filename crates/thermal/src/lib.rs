@@ -49,3 +49,4 @@ pub mod plant;
 pub mod sensors;
 pub mod weather;
 pub mod zone;
+pub mod zone_batch;

@@ -139,6 +139,13 @@ pub struct PlantConfig {
     pub initial_co2: f64,
     /// RNG seed for weather wander and sensor noise.
     pub seed: u64,
+    /// Forces the scalar reference paths (per-zone stepping, full
+    /// two-channel sensor reads) instead of the batched/skipping fast
+    /// paths. Both produce bit-identical results — this switch exists so
+    /// the parity suites can prove it and so a suspicious run can be
+    /// re-executed on the original code path. Defaults to the
+    /// `BZ_SCALAR_REFERENCE` environment variable.
+    pub scalar_reference: bool,
 }
 
 impl PlantConfig {
@@ -161,6 +168,7 @@ impl PlantConfig {
             initial_indoor: (Celsius::new(28.9), Celsius::new(27.4)),
             initial_co2: 520.0,
             seed: 0xB0BB_1E2E,
+            scalar_reference: scalar_reference_default(),
         }
     }
 
@@ -198,6 +206,21 @@ impl PlantConfig {
         self.sensor_faults = sensor_faults;
         self
     }
+
+    /// Same lab with the scalar-reference switch set explicitly (see
+    /// [`PlantConfig::scalar_reference`]).
+    #[must_use]
+    pub fn with_scalar_reference(mut self, scalar_reference: bool) -> Self {
+        self.scalar_reference = scalar_reference;
+        self
+    }
+}
+
+/// Whether `BZ_SCALAR_REFERENCE` asks for the scalar reference paths
+/// (any non-empty value other than `0` counts as set).
+#[must_use]
+pub fn scalar_reference_default() -> bool {
+    std::env::var_os("BZ_SCALAR_REFERENCE").is_some_and(|v| !v.is_empty() && v != "0")
 }
 
 /// The sensor instruments attached to the plant.
@@ -495,20 +518,35 @@ impl ThermalPlant {
         let zone_span = self.obs.span("thermal.zones.step", self.now.as_millis());
         self.last_zone_inputs = zone_inputs;
         let pre_states: [AirState; 4] = std::array::from_fn(|i| self.zones[i].state());
-        for (i, zone) in self.zones.iter_mut().enumerate() {
-            let neighbors: Vec<(f64, AirState)> = ADJACENCY
-                .iter()
-                .filter_map(|&(a, b)| {
-                    if a == i {
-                        Some((self.config.interzone_mixing_m3s, pre_states[b]))
-                    } else if b == i {
-                        Some((self.config.interzone_mixing_m3s, pre_states[a]))
-                    } else {
-                        None
-                    }
-                })
-                .collect();
-            zone.step(dt_s, &zone_inputs[i], self.outdoor, &neighbors);
+        if self.config.scalar_reference {
+            // Scalar reference path: per-zone stepping with the neighbour
+            // list rebuilt from the adjacency scan each tick. The batched
+            // path below is bit-identical (`zone_batch` tests plus the
+            // plant parity test prove it); this branch stays as the
+            // re-executable original.
+            for (i, zone) in self.zones.iter_mut().enumerate() {
+                let neighbors: Vec<(f64, AirState)> = ADJACENCY
+                    .iter()
+                    .filter_map(|&(a, b)| {
+                        if a == i {
+                            Some((self.config.interzone_mixing_m3s, pre_states[b]))
+                        } else if b == i {
+                            Some((self.config.interzone_mixing_m3s, pre_states[a]))
+                        } else {
+                            None
+                        }
+                    })
+                    .collect();
+                zone.step(dt_s, &zone_inputs[i], self.outdoor, &neighbors);
+            }
+        } else {
+            crate::zone_batch::step_zones(
+                &mut self.zones,
+                dt_s,
+                &zone_inputs,
+                self.outdoor,
+                self.config.interzone_mixing_m3s,
+            );
         }
 
         zone_span.exit(self.now.as_millis());
@@ -748,6 +786,75 @@ impl ThermalPlant {
         )
     }
 
+    /// Temperature channel of the room SHT75 only. The humidity
+    /// sibling's noise draw is *skipped* (state-advanced, not computed),
+    /// so the reading — and every reading after it — is bit-identical to
+    /// taking [`read_room`](Self::read_room) and discarding the RH half.
+    /// Falls back to the full two-channel read whenever the fault
+    /// schedule can touch this sensor or the scalar-reference switch is
+    /// on.
+    pub fn read_room_temp(&mut self, id: SubspaceId) -> Celsius {
+        let target = SensorTarget::Room(id.index());
+        if self.config.scalar_reference || self.config.sensor_faults.ever_targets(target) {
+            return self.read_room(id).0;
+        }
+        let state = self.zones[id.index()].state();
+        let sensor = &mut self.instruments.room[id.index()];
+        let t = sensor.read_temp(state.temperature);
+        sensor.skip_rh();
+        t
+    }
+
+    /// Humidity channel of the room SHT75 only (see
+    /// [`read_room_temp`](Self::read_room_temp)).
+    pub fn read_room_rh(&mut self, id: SubspaceId) -> Percent {
+        let target = SensorTarget::Room(id.index());
+        if self.config.scalar_reference || self.config.sensor_faults.ever_targets(target) {
+            return self.read_room(id).1;
+        }
+        let state = self.zones[id.index()].state();
+        let sensor = &mut self.instruments.room[id.index()];
+        sensor.skip_temp();
+        sensor.read_rh(state.relative_humidity())
+    }
+
+    /// Temperature channel of one ceiling SHT75 only (see
+    /// [`read_room_temp`](Self::read_room_temp) for the skip contract).
+    pub fn read_ceiling_sensor_temp(&mut self, panel: usize, k: usize) -> Celsius {
+        let target = SensorTarget::Ceiling(panel * 6 + k);
+        if self.config.scalar_reference || self.config.sensor_faults.ever_targets(target) {
+            return self.read_ceiling_sensor(panel, k).0;
+        }
+        let surface = self.panels[panel].surface_temperature();
+        let zone_idx = 2 * panel + (k / 3);
+        let state = self.zones[zone_idx].state();
+        let near_t = 0.7 * state.temperature.get() + 0.3 * surface.get();
+        let sensor = &mut self.instruments.ceiling[panel * 6 + k];
+        let t = sensor.read_temp(Celsius::new(near_t));
+        sensor.skip_rh();
+        t
+    }
+
+    /// Humidity channel of one ceiling SHT75 only (see
+    /// [`read_room_temp`](Self::read_room_temp) for the skip contract).
+    pub fn read_ceiling_sensor_rh(&mut self, panel: usize, k: usize) -> Percent {
+        let target = SensorTarget::Ceiling(panel * 6 + k);
+        if self.config.scalar_reference || self.config.sensor_faults.ever_targets(target) {
+            return self.read_ceiling_sensor(panel, k).1;
+        }
+        let surface = self.panels[panel].surface_temperature();
+        let zone_idx = 2 * panel + (k / 3);
+        let state = self.zones[zone_idx].state();
+        let near_t = 0.7 * state.temperature.get() + 0.3 * surface.get();
+        let near = AirState {
+            temperature: Celsius::new(near_t),
+            ..state
+        };
+        let sensor = &mut self.instruments.ceiling[panel * 6 + k];
+        sensor.skip_temp();
+        sensor.read_rh(near.relative_humidity())
+    }
+
     /// ADT7410 reading of the mixed-water temperature for a panel loop.
     pub fn read_mixed_temp(&mut self, panel: usize) -> Celsius {
         self.instruments.pipe_mix[panel].read(self.loops[panel].mixed_temp)
@@ -833,6 +940,85 @@ mod tests {
 
     fn lab() -> ThermalPlant {
         ThermalPlant::new(PlantConfig::bubble_zero_lab())
+    }
+
+    /// The fast paths (batched zone stepping, single-channel sensor
+    /// reads with sibling skips) must be bit-identical to the scalar
+    /// reference paths, reading for reading and state for state.
+    #[test]
+    fn scalar_reference_and_fast_paths_are_bit_identical() {
+        let build = |scalar: bool| {
+            ThermalPlant::new(
+                PlantConfig::bubble_zero_lab()
+                    .with_seed(0xFA57)
+                    .with_disturbances(crate::disturbance::DisturbanceSchedule::figure10_afternoon())
+                    .with_scalar_reference(scalar),
+            )
+        };
+        let mut reference = build(true);
+        let mut fast = build(false);
+        let commands = ActuatorCommands::all_off();
+        for minute in 0..30 {
+            for _ in 0..60 {
+                reference.step(SimDuration::from_secs(1), &commands);
+                fast.step(SimDuration::from_secs(1), &commands);
+            }
+            let id = SubspaceId::from_index(minute % 4);
+            let panel = minute % 2;
+            let k = minute % 6;
+            // The scalar plant always takes the full two-channel reads;
+            // the fast plant goes through the skipping single-channel
+            // variants. Streams must stay locked together throughout.
+            assert_eq!(reference.read_room(id).0, fast.read_room_temp(id));
+            assert_eq!(reference.read_room(id).1, fast.read_room_rh(id));
+            assert_eq!(
+                reference.read_ceiling_sensor(panel, k).0,
+                fast.read_ceiling_sensor_temp(panel, k)
+            );
+            assert_eq!(
+                reference.read_ceiling_sensor(panel, k).1,
+                fast.read_ceiling_sensor_rh(panel, k)
+            );
+            assert_eq!(reference.read_co2(id), fast.read_co2(id));
+            for i in 0..4 {
+                let a = reference.zones[i].state();
+                let b = fast.zones[i].state();
+                assert_eq!(a.temperature.get().to_bits(), b.temperature.get().to_bits());
+                assert_eq!(
+                    a.humidity_ratio.get().to_bits(),
+                    b.humidity_ratio.get().to_bits()
+                );
+                assert_eq!(a.co2.get().to_bits(), b.co2.get().to_bits());
+            }
+        }
+    }
+
+    /// With a fault schedule that targets a sensor, the single-channel
+    /// variants must fall back to the full faulted read path.
+    #[test]
+    fn single_channel_reads_fall_back_under_faults() {
+        use crate::sensors::SensorFaultEvent;
+        let schedule = SensorFaultSchedule::new(vec![SensorFaultEvent {
+            at: SimTime::from_secs(0),
+            repaired_at: None,
+            target: SensorTarget::Room(0),
+            fault: SensorFault::CalibrationJump { offset: 5.0 },
+        }]);
+        let build = || {
+            ThermalPlant::new(
+                PlantConfig::bubble_zero_lab()
+                    .with_seed(0xFA58)
+                    .with_sensor_faults(schedule.clone())
+                    .with_scalar_reference(false),
+            )
+        };
+        let mut fast = build();
+        let mut reference = build();
+        let full = reference.read_room(SubspaceId::S1);
+        let t = fast.read_room_temp(SubspaceId::S1);
+        // The calibration jump must show through the single-channel read.
+        assert_eq!(full.0, t);
+        assert!(t.get() > 30.0, "jump not applied: {t}");
     }
 
     #[test]

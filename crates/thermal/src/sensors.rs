@@ -100,6 +100,22 @@ impl HumiditySensor {
         let raw = truth.get() + self.temp_bias + self.rng.normal(0.0, 0.008);
         Celsius::new(quantize(raw, Self::TEMP_RESOLUTION))
     }
+
+    /// Advances the sensor's noise stream exactly as one discarded
+    /// [`read_rh`](Self::read_rh) would, without computing the reading.
+    ///
+    /// The SHT75 samples both channels on every poll, but a caller often
+    /// uses only one; skipping the sibling keeps every later reading
+    /// bit-identical to a full poll while avoiding the wasted math.
+    pub fn skip_rh(&mut self) {
+        self.rng.skip_normals(1);
+    }
+
+    /// Advances the sensor's noise stream exactly as one discarded
+    /// [`read_temp`](Self::read_temp) would (see [`skip_rh`](Self::skip_rh)).
+    pub fn skip_temp(&mut self) {
+        self.rng.skip_normals(1);
+    }
 }
 
 /// An NDIR CO₂ concentration sensor (integrated with the CO₂flaps).
@@ -309,6 +325,15 @@ impl SensorFaultSchedule {
             .max_by_key(|e| (e.at, e.fault.sort_key()))
     }
 
+    /// True if any event in the schedule — past, active, or future —
+    /// targets `target`. When this is false the fault machinery can
+    /// never touch the sensor, so read paths may skip fault bookkeeping
+    /// entirely (the gate behind the single-channel fast reads).
+    #[must_use]
+    pub fn ever_targets(&self, target: SensorTarget) -> bool {
+        self.events.iter().any(|e| e.target == target)
+    }
+
     /// True if `target` is dropped out (produces no reading) at `now`.
     #[must_use]
     pub fn dropped_out(&self, target: SensorTarget, now: SimTime) -> bool {
@@ -468,6 +493,47 @@ mod tests {
         assert!(schedule.dropped_out(target, SimTime::from_mins(1)));
         assert!(!schedule.dropped_out(target, SimTime::from_mins(2)));
         assert!(!schedule.dropped_out(SensorTarget::Room(2), SimTime::from_mins(1)));
+    }
+
+    #[test]
+    fn skipped_channel_leaves_the_stream_bit_identical() {
+        let mut r1 = Rng::seed_from(11);
+        let mut r2 = Rng::seed_from(11);
+        let mut full = HumiditySensor::new(&mut r1);
+        let mut skipping = HumiditySensor::new(&mut r2);
+        for i in 0..50 {
+            let t = Celsius::new(24.0 + f64::from(i) * 0.01);
+            let rh = Percent::new(60.0 + f64::from(i) * 0.1);
+            if i % 2 == 0 {
+                // Temperature consumer: discards the RH sibling.
+                let a = full.read_temp(t);
+                let _ = full.read_rh(rh);
+                let b = skipping.read_temp(t);
+                skipping.skip_rh();
+                assert_eq!(a, b);
+            } else {
+                // RH consumer: discards the temperature sibling.
+                let _ = full.read_temp(t);
+                let a = full.read_rh(rh);
+                skipping.skip_temp();
+                let b = skipping.read_rh(rh);
+                assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn ever_targets_sees_inactive_events() {
+        let target = SensorTarget::Room(1);
+        let schedule = SensorFaultSchedule::new(vec![SensorFaultEvent {
+            at: SimTime::from_mins(100),
+            repaired_at: None,
+            target,
+            fault: SensorFault::StuckAt,
+        }]);
+        assert!(schedule.ever_targets(target));
+        assert!(!schedule.ever_targets(SensorTarget::Room(0)));
+        assert!(!SensorFaultSchedule::none().ever_targets(target));
     }
 
     #[test]

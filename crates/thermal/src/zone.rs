@@ -278,10 +278,29 @@ impl Zone {
         outdoor: AirState,
         neighbor_exchange: &[(f64, AirState)],
     ) {
-        debug_assert!(dt_s > 0.0 && dt_s.is_finite());
         let rho = dry_air_density(self.state.temperature);
-        let air_mass = self.params.air_mass(self.state.temperature);
-        let heat_capacity = self.params.heat_capacity(self.state.temperature);
+        self.step_with_density(dt_s, inputs, outdoor, neighbor_exchange, rho);
+    }
+
+    /// [`step`](Self::step) with the zone-air density supplied by the
+    /// caller — the hook the batched stepper uses after evaluating the
+    /// density kernel for all subspaces in one pass. `rho` must be the
+    /// dry-air density at the zone's current temperature; passing the
+    /// value `dry_air_density(state.temperature)` returns makes this
+    /// bit-identical to [`step`](Self::step).
+    pub fn step_with_density(
+        &mut self,
+        dt_s: f64,
+        inputs: &ZoneInputs,
+        outdoor: AirState,
+        neighbor_exchange: &[(f64, AirState)],
+        rho: f64,
+    ) {
+        debug_assert!(dt_s > 0.0 && dt_s.is_finite());
+        // Same arithmetic as `ZoneParams::air_mass`/`heat_capacity`, with
+        // the shared density factored out.
+        let air_mass = self.params.volume_m3 * rho;
+        let heat_capacity = air_mass * CP_DRY_AIR * self.params.thermal_mass_factor;
         let t = self.state.temperature.get();
 
         // --- Sensible energy balance -------------------------------------

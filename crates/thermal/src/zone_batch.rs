@@ -1,0 +1,189 @@
+//! Struct-of-arrays batched stepping for the four subspaces.
+//!
+//! The per-zone step in [`crate::zone`] is written for one zone at a
+//! time; the plant, however, always advances all four subspaces
+//! together. This module gathers the zone states into parallel arrays
+//! ([`ZoneBatch`]), evaluates the shared psychrometric kernels once per
+//! tick through `bz_psychro::batch`, and steps every zone against fixed
+//! neighbour tables instead of building a `Vec` of neighbour pairs per
+//! zone per tick.
+//!
+//! The batched path is bit-identical to the scalar path: the batch
+//! kernels evaluate the same arithmetic element-wise, the neighbour
+//! tables reproduce the exact accumulation order of the adjacency scan,
+//! and [`Zone::step_with_density`] is the same balance code `Zone::step`
+//! runs. `scalar_path_matches_batched_path` in this module and the
+//! plant/system parity suites hold that equivalence.
+
+use bz_psychro::batch::dry_air_density_batch;
+
+use crate::zone::{AirState, Zone, ZoneInputs};
+
+/// Subspace adjacency of the laboratory floor plan (§III-A): S1–S2,
+/// S3–S4, S1–S3, S2–S4.
+pub const ADJACENCY: [(usize, usize); 4] = [(0, 1), (2, 3), (0, 2), (1, 3)];
+
+/// For each zone, its two neighbours **in the order the adjacency scan
+/// visits them** — the accumulation order the scalar path uses, kept so
+/// floating-point sums associate identically.
+pub const NEIGHBORS: [[usize; 2]; 4] = [[1, 2], [0, 3], [3, 0], [2, 1]];
+
+/// Struct-of-arrays snapshot of the four subspace air states, plus the
+/// derived per-zone dry-air density evaluated through the batch kernel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZoneBatch {
+    /// Dry-bulb temperature per zone, °C.
+    pub temps_c: [f64; 4],
+    /// Humidity ratio per zone, kg/kg.
+    pub ratios: [f64; 4],
+    /// CO₂ per zone, ppm.
+    pub co2_ppm: [f64; 4],
+    /// Dry-air density per zone, kg/m³.
+    pub rho: [f64; 4],
+}
+
+impl ZoneBatch {
+    /// Gathers the AoS zone states into SoA form and evaluates the
+    /// density kernel for all four zones in one batch call.
+    #[must_use]
+    pub fn gather(states: &[AirState; 4]) -> Self {
+        let temps_c = states.map(|s| s.temperature.get());
+        let ratios = states.map(|s| s.humidity_ratio.get());
+        let co2_ppm = states.map(|s| s.co2.get());
+        let mut rho = [0.0; 4];
+        dry_air_density_batch(&temps_c, &mut rho);
+        Self {
+            temps_c,
+            ratios,
+            co2_ppm,
+            rho,
+        }
+    }
+}
+
+/// Advances all four subspaces by `dt_s` against pre-step neighbour
+/// states, using the batched density kernel and the fixed neighbour
+/// tables. Bit-identical to stepping each zone through [`Zone::step`]
+/// with the adjacency-scan neighbour list.
+pub fn step_zones(
+    zones: &mut [Zone; 4],
+    dt_s: f64,
+    inputs: &[ZoneInputs; 4],
+    outdoor: AirState,
+    mixing_m3s: f64,
+) {
+    let pre: [AirState; 4] = std::array::from_fn(|i| zones[i].state());
+    let batch = ZoneBatch::gather(&pre);
+    for (i, zone) in zones.iter_mut().enumerate() {
+        let [n1, n2] = NEIGHBORS[i];
+        let neighbors = [(mixing_m3s, pre[n1]), (mixing_m3s, pre[n2])];
+        zone.step_with_density(dt_s, &inputs[i], outdoor, &neighbors, batch.rho[i]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zone::ZoneParams;
+    use bz_psychro::{dry_air_density, Celsius, Ppm};
+
+    fn lab_zones() -> [Zone; 4] {
+        std::array::from_fn(|i| {
+            Zone::new(
+                ZoneParams::bubble_zero_subspace(),
+                AirState::from_dew_point(
+                    Celsius::new(25.0 + i as f64 * 0.7),
+                    Celsius::new(17.0 + i as f64 * 0.9),
+                    Ppm::new(480.0 + i as f64 * 40.0),
+                ),
+            )
+        })
+    }
+
+    fn varied_inputs() -> [ZoneInputs; 4] {
+        std::array::from_fn(|i| ZoneInputs {
+            hvac_sensible_w: -120.0 * i as f64,
+            occupant_sensible_w: 70.0 * (3 - i) as f64,
+            occupant_latent_kg_s: 4.0e-5 * i as f64,
+            occupant_co2_m3s: 5.0e-6,
+            ventilation_m3s: 0.01 * i as f64,
+            ventilation_temp: Celsius::new(16.0),
+            ..ZoneInputs::default()
+        })
+    }
+
+    /// The neighbour table must reproduce the adjacency-scan order.
+    #[test]
+    fn neighbor_table_matches_adjacency_scan() {
+        for (i, expected) in NEIGHBORS.iter().enumerate() {
+            let scanned: Vec<usize> = ADJACENCY
+                .iter()
+                .filter_map(|&(a, b)| {
+                    if a == i {
+                        Some(b)
+                    } else if b == i {
+                        Some(a)
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            assert_eq!(scanned, expected.to_vec(), "zone {i}");
+        }
+    }
+
+    #[test]
+    fn gather_evaluates_the_exact_density() {
+        let zones = lab_zones();
+        let states: [AirState; 4] = std::array::from_fn(|i| zones[i].state());
+        let batch = ZoneBatch::gather(&states);
+        for (i, state) in states.iter().enumerate() {
+            let exact = dry_air_density(state.temperature);
+            assert_eq!(exact.to_bits(), batch.rho[i].to_bits());
+            assert_eq!(batch.temps_c[i], state.temperature.get());
+        }
+    }
+
+    /// The core bit-identity proof: an hour of batched stepping produces
+    /// the exact floating-point trajectory of the scalar adjacency-scan
+    /// path.
+    #[test]
+    fn scalar_path_matches_batched_path() {
+        let mix = 0.04;
+        let outdoor =
+            AirState::from_dew_point(Celsius::new(28.9), Celsius::new(27.4), Ppm::new(410.0));
+        let inputs = varied_inputs();
+        let mut scalar = lab_zones();
+        let mut batched = lab_zones();
+        for _ in 0..3_600 {
+            // Scalar reference: per-zone Vec built from the adjacency scan.
+            let pre: [AirState; 4] = std::array::from_fn(|i| scalar[i].state());
+            for (i, zone) in scalar.iter_mut().enumerate() {
+                let neighbors: Vec<(f64, AirState)> = ADJACENCY
+                    .iter()
+                    .filter_map(|&(a, b)| {
+                        if a == i {
+                            Some((mix, pre[b]))
+                        } else if b == i {
+                            Some((mix, pre[a]))
+                        } else {
+                            None
+                        }
+                    })
+                    .collect();
+                zone.step(1.0, &inputs[i], outdoor, &neighbors);
+            }
+            step_zones(&mut batched, 1.0, &inputs, outdoor, mix);
+            for i in 0..4 {
+                let s = scalar[i].state();
+                let b = batched[i].state();
+                assert_eq!(s.temperature.get().to_bits(), b.temperature.get().to_bits());
+                assert_eq!(
+                    s.humidity_ratio.get().to_bits(),
+                    b.humidity_ratio.get().to_bits()
+                );
+                assert_eq!(s.co2.get().to_bits(), b.co2.get().to_bits());
+            }
+        }
+    }
+}

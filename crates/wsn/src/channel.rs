@@ -142,6 +142,9 @@ pub struct Network {
     failures: Vec<(Message, TxFailure)>,
     faults: WsnFaultSchedule,
     obs: bz_obs::Handle,
+    /// Reused scratch for the frames completing in one `advance` call,
+    /// so steady-state advancing allocates nothing.
+    done_buf: Vec<Flight>,
 }
 
 impl Network {
@@ -157,6 +160,7 @@ impl Network {
             failures: Vec::new(),
             faults: WsnFaultSchedule::none(),
             obs: bz_obs::Handle::global(),
+            done_buf: Vec::new(),
         }
     }
 
@@ -276,7 +280,18 @@ impl Network {
     /// airtime has completed. Returns the successful deliveries in
     /// completion order.
     pub fn advance(&mut self, now: SimTime) -> Vec<Delivery> {
-        let mut done: Vec<Flight> = Vec::new();
+        let mut deliveries = Vec::new();
+        self.advance_into(now, &mut deliveries);
+        deliveries
+    }
+
+    /// Like [`Network::advance`], but appends the deliveries to `out`
+    /// (which the caller clears between ticks) instead of allocating a
+    /// fresh vector — the form the per-second simulation loop uses to
+    /// stay allocation-free.
+    pub fn advance_into(&mut self, now: SimTime, out: &mut Vec<Delivery>) {
+        let mut done = std::mem::take(&mut self.done_buf);
+        done.clear();
         self.in_flight.retain(|f| {
             if f.end <= now {
                 done.push(*f);
@@ -287,8 +302,7 @@ impl Network {
         });
         done.sort_by_key(|f| f.end);
 
-        let mut deliveries = Vec::new();
-        for f in done {
+        for &f in &done {
             if f.corrupted {
                 self.stats.collided += 1;
                 self.obs.counter_inc("wsn.packets.collided");
@@ -305,14 +319,14 @@ impl Network {
                     .observe("wsn.delivery_delay_ms", delay.as_millis() as f64);
                 self.stats.total_delay_ms += delay.as_millis();
                 self.stats.max_delay_ms = self.stats.max_delay_ms.max(delay.as_millis());
-                deliveries.push(Delivery {
+                out.push(Delivery {
                     at: f.end,
                     message: f.message,
                     delay,
                 });
             }
         }
-        deliveries
+        self.done_buf = done;
     }
 
     /// Sniffer statistics so far.
@@ -536,6 +550,32 @@ mod tests {
         let ratio = from_degraded as f64 / 500.0;
         assert!((ratio - 0.2).abs() < 0.06, "degraded ratio {ratio}");
         assert_eq!(from_healthy, 500, "healthy node sees no extra loss");
+    }
+
+    #[test]
+    fn advance_into_matches_advance() {
+        let run = |into: bool| {
+            let mut net = Network::new(NetworkConfig::telosb(), Rng::seed_from(13));
+            let mut all = Vec::new();
+            for i in 0..200u64 {
+                let t = SimTime::from_millis(i * 7);
+                net.send(t, msg((i % 10) as u16, t));
+                if i % 20 == 19 {
+                    if into {
+                        net.advance_into(t, &mut all);
+                    } else {
+                        all.extend(net.advance(t));
+                    }
+                }
+            }
+            if into {
+                net.advance_into(SimTime::from_secs(10), &mut all);
+            } else {
+                all.extend(net.advance(SimTime::from_secs(10)));
+            }
+            (all, *net.stats())
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

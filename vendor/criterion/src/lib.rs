@@ -17,12 +17,37 @@
 
 use std::fmt;
 use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 /// Wall-clock budget spent measuring each benchmark after warm-up.
 const MEASURE_BUDGET: Duration = Duration::from_millis(300);
 /// Wall-clock budget spent warming each benchmark up.
 const WARMUP_BUDGET: Duration = Duration::from_millis(60);
+
+/// Smoke-test mode: each routine runs once, with no warm-up or timing
+/// budget. Real criterion supports `cargo bench -- --test` the same way;
+/// CI uses it to prove every benchmark still compiles and runs without
+/// paying the measurement budgets.
+static TEST_MODE: AtomicBool = AtomicBool::new(false);
+
+/// Enables smoke-test mode (see [`parse_args`]).
+pub fn set_test_mode(enabled: bool) {
+    TEST_MODE.store(enabled, Ordering::Relaxed);
+}
+
+fn test_mode() -> bool {
+    TEST_MODE.load(Ordering::Relaxed)
+}
+
+/// Reads harness flags from the command line: `--test` selects smoke-test
+/// mode. Called by the `criterion_main!` expansion; other flags cargo
+/// passes (e.g. `--bench`) are ignored, as in real criterion.
+pub fn parse_args() {
+    if std::env::args().any(|arg| arg == "--test") {
+        set_test_mode(true);
+    }
+}
 
 /// How `iter_batched` amortizes setup; the stub treats all variants alike.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,6 +96,12 @@ pub struct Bencher {
 impl Bencher {
     /// Times `routine`, called repeatedly, over the measurement budget.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if test_mode() {
+            let started = Instant::now();
+            black_box(routine());
+            self.record(started.elapsed(), 1);
+            return;
+        }
         let warm_until = Instant::now() + WARMUP_BUDGET;
         while Instant::now() < warm_until {
             black_box(routine());
@@ -95,6 +126,13 @@ impl Bencher {
         S: FnMut() -> I,
         R: FnMut(I) -> O,
     {
+        if test_mode() {
+            let input = setup();
+            let started = Instant::now();
+            black_box(routine(input));
+            self.record(started.elapsed(), 1);
+            return;
+        }
         let warm_until = Instant::now() + WARMUP_BUDGET;
         while Instant::now() < warm_until {
             black_box(routine(setup()));
@@ -209,11 +247,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Emits `main` running the given groups (ignores harness CLI flags).
+/// Emits `main` running the given groups. Honors `--test` on the command
+/// line (smoke-test mode: every routine runs once, untimed budgets are
+/// skipped); other harness flags are ignored.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
+            $crate::parse_args();
             $($group();)+
         }
     };
@@ -246,5 +287,19 @@ mod tests {
     fn ids_format() {
         assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
         assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+
+    #[test]
+    fn test_mode_runs_each_routine_once() {
+        set_test_mode(true);
+        let mut calls = 0u64;
+        let mut bencher = Bencher::default();
+        bencher.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+        assert_eq!(bencher.iterations, 1);
+        let mut batched_calls = 0u64;
+        bencher.iter_batched(|| 7u64, |n| batched_calls += n, BatchSize::SmallInput);
+        assert_eq!(batched_calls, 7);
+        set_test_mode(false);
     }
 }
