@@ -25,6 +25,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -224,6 +225,11 @@ pub struct RunSummary {
     /// The COP-style sweeps (`bzctl cop` scenarios, strategy
     /// comparisons) read efficiency off this column directly.
     pub cop: f64,
+    /// Mean projected battery lifetime across the run's BT devices,
+    /// years — the network-style sweeps (residual-loss and bt-fixed
+    /// axes) read device longevity off this column. 0 when no device
+    /// transmitted enough for a projection.
+    pub lifetime_y: f64,
 }
 
 /// The outcome of one run: its summary plus the full per-run metrics
@@ -400,37 +406,127 @@ fn build_system(spec: &RunSpec, obs: bz_obs::Handle) -> Result<BubbleZeroSystem,
 ///
 /// Returns a message for invalid grid parameters.
 pub fn run_one(spec: &RunSpec) -> Result<RunResult, String> {
-    let obs = bz_obs::Handle::isolated();
-    let mut system = build_system(spec, obs.clone())?;
-    for _ in 0..spec.minutes {
-        system.run_seconds(60);
-        obs.record_counters(system.now().as_millis());
+    run_one_resumable(spec, None, 0, &[])
+}
+
+/// Per-run crash-safety configuration for a sweep (see [`ExecutePlan`]).
+#[derive(Debug, Clone)]
+pub struct SweepCheckpoints {
+    /// Root directory; each run gets a `run-NNN/` subdirectory of
+    /// checkpoints plus a `done.bzck` completion record.
+    pub root: PathBuf,
+    /// Simulated seconds between mid-run checkpoints.
+    pub every_s: u64,
+    /// Reuse prior state: completed runs are served from their
+    /// `done.bzck` record without re-executing, interrupted runs resume
+    /// from their newest good mid-run checkpoint. When false the
+    /// directory is write-only (a later `--resume` can still use it).
+    pub resume: bool,
+}
+
+/// A deterministic kill for the crash-injection harness: aborts run
+/// `index` just before simulated minute `minute`, on the first
+/// `attempts` attempts. With `attempts < retries` the sweep self-heals
+/// by resuming the run from its last checkpoint.
+#[derive(Debug, Clone, Copy)]
+pub struct KillRule {
+    /// The [`RunSpec::index`] to kill.
+    pub index: usize,
+    /// Simulated minute at which to kill it (before stepping it).
+    pub minute: u64,
+    /// How many attempts the kill applies to (then it stops firing).
+    pub attempts: u32,
+}
+
+/// Parses a `--kill index:minute[:attempts]` spec.
+///
+/// # Errors
+///
+/// Returns a message for malformed specs.
+pub fn parse_kill(spec: &str) -> Result<KillRule, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let bad = || format!("kill spec '{spec}' is not of the form index:minute[:attempts]");
+    if !(parts.len() == 2 || parts.len() == 3) {
+        return Err(bad());
     }
-    obs.disable();
-    let mut metrics_jsonl = Vec::new();
-    obs.write_jsonl(&mut metrics_jsonl)
-        .map_err(|e| format!("metrics export failed: {e}"))?;
-    let plant = system.plant();
-    let stats = system.network().stats();
-    let meters = plant.meters();
-    let energy_j = meters.radiant_chiller.get()
-        + meters.vent_chiller.get()
-        + meters.pumps.get()
-        + meters.fans.get();
-    let removed_j = meters.radiant_removed.get() + meters.vent_removed.get();
-    let summary = RunSummary {
-        t_end_c: plant.zone_temperature(SubspaceId::S1).get(),
-        dew_end_c: plant.zone_dew_point(SubspaceId::S1).get(),
-        condensate_kg: plant.panel_condensate_total(),
-        delivery_pct: 100.0 * stats.delivery_ratio(),
-        packets_sent: stats.offered,
-        energy_kj: energy_j / 1_000.0,
-        cop: if energy_j > 0.0 {
-            removed_j / energy_j
-        } else {
-            0.0
-        },
+    let index = parts[0].parse().map_err(|_| bad())?;
+    let minute = parts[1].parse().map_err(|_| bad())?;
+    let attempts = match parts.get(2) {
+        Some(n) => n.parse().map_err(|_| bad())?,
+        None => 1,
     };
+    Ok(KillRule {
+        index,
+        minute,
+        attempts,
+    })
+}
+
+/// Kind tag of mid-run sweep checkpoints.
+const RUN_CKPT_KIND: &str = "sweep-run";
+/// Kind tag of per-run completion records.
+const RUN_DONE_KIND: &str = "sweep-done";
+/// Mid-run checkpoints retained per run.
+const RUN_CKPT_KEEP: usize = 2;
+
+/// The identity CRC binding a run's checkpoints to its spec: restoring
+/// under a different scenario, seed, duration, or grid point must be
+/// rejected, not silently continued.
+fn run_crc(spec: &RunSpec) -> u64 {
+    let identity = format!("{} minutes={}", spec.label(), spec.minutes);
+    bz_state::crc64::checksum(identity.as_bytes())
+}
+
+fn run_dir(root: &Path, index: usize) -> PathBuf {
+    root.join(format!("run-{index:03}"))
+}
+
+/// Serializes a completed [`RunResult`] for the `done.bzck` record.
+fn encode_result(result: &RunResult) -> Vec<u8> {
+    let mut w = bz_state::Writer::new();
+    w.put_u64(result.index as u64);
+    w.put_u64(result.seed);
+    let s = &result.summary;
+    for v in [
+        s.t_end_c,
+        s.dew_end_c,
+        s.condensate_kg,
+        s.delivery_pct,
+        s.energy_kj,
+        s.cop,
+        s.lifetime_y,
+    ] {
+        w.put_f64(v);
+    }
+    w.put_u64(s.packets_sent);
+    w.put_bytes(&result.metrics_jsonl);
+    w.into_bytes()
+}
+
+/// Decodes a `done.bzck` payload back into the [`RunResult`] for `spec`.
+fn decode_result(spec: &RunSpec, bytes: &[u8]) -> Result<RunResult, String> {
+    let mut r = bz_state::Reader::new(bytes);
+    let mut take = || r.take_u64().map_err(|e| e.to_string());
+    let index = take()? as usize;
+    let seed = take()?;
+    if index != spec.index || seed != spec.seed {
+        return Err(format!(
+            "completion record is for run {index} seed {seed}, not run {} seed {}",
+            spec.index, spec.seed
+        ));
+    }
+    let mut f = || r.take_f64().map_err(|e| e.to_string());
+    let summary = RunSummary {
+        t_end_c: f()?,
+        dew_end_c: f()?,
+        condensate_kg: f()?,
+        delivery_pct: f()?,
+        energy_kj: f()?,
+        cop: f()?,
+        lifetime_y: f()?,
+        packets_sent: r.take_u64().map_err(|e| e.to_string())?,
+    };
+    let metrics_jsonl = r.take_bytes().map_err(|e| e.to_string())?;
     Ok(RunResult {
         index: spec.index,
         label: spec.label(),
@@ -447,6 +543,192 @@ pub fn run_one(spec: &RunSpec) -> Result<RunResult, String> {
     })
 }
 
+/// What one resumable run did beyond producing its result.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunProvenance {
+    /// Served entirely from a `done.bzck` completion record.
+    pub cached: bool,
+    /// Resumed from a mid-run checkpoint.
+    pub resumed: bool,
+}
+
+/// Executes one run with optional crash-safety: periodic mid-run
+/// checkpoints, resume from the newest good one, a completion record
+/// that lets a restarted sweep skip the run entirely, and the
+/// deterministic kill harness.
+///
+/// # Errors
+///
+/// Returns a message for invalid grid parameters, checkpoint I/O
+/// failures, or an injected kill.
+pub fn run_one_resumable(
+    spec: &RunSpec,
+    ckpt: Option<&SweepCheckpoints>,
+    attempt: u32,
+    kills: &[KillRule],
+) -> Result<RunResult, String> {
+    run_one_tracked(spec, ckpt, attempt, kills).map(|(result, _)| result)
+}
+
+fn run_one_tracked(
+    spec: &RunSpec,
+    ckpt: Option<&SweepCheckpoints>,
+    attempt: u32,
+    kills: &[KillRule],
+) -> Result<(RunResult, RunProvenance), String> {
+    let crc = run_crc(spec);
+    let mut provenance = RunProvenance::default();
+    let dir = match ckpt {
+        Some(cfg) => {
+            let dir = bz_state::CheckpointDir::create(run_dir(&cfg.root, spec.index))
+                .map_err(|e| format!("cannot create checkpoint dir: {e}"))?;
+            let done = dir.root().join("done.bzck");
+            // --resume trusts state left by a previous invocation; a
+            // retry (attempt > 0) additionally trusts what this very
+            // invocation wrote before the attempt died.
+            if (cfg.resume || attempt > 0) && done.exists() {
+                match bz_state::Checkpoint::read(&done) {
+                    Ok(record)
+                        if record.meta.kind == RUN_DONE_KIND && record.meta.config_crc == crc =>
+                    {
+                        let result = decode_result(spec, &record.payload)?;
+                        provenance.cached = true;
+                        return Ok((result, provenance));
+                    }
+                    // A stale or foreign record (different spec, torn
+                    // write): ignore it and re-run from scratch.
+                    _ => {}
+                }
+            }
+            Some((dir, cfg))
+        }
+        None => None,
+    };
+
+    let obs = bz_obs::Handle::isolated();
+    let mut system = build_system(spec, obs.clone())?;
+    let mut start_minute = 0;
+    if let Some((dir, cfg)) = &dir {
+        if cfg.resume || attempt > 0 {
+            let scan = dir
+                .latest_good()
+                .map_err(|e| format!("cannot scan checkpoint dir: {e}"))?;
+            if let Some((_, checkpoint)) = scan.best {
+                if checkpoint.meta.kind == RUN_CKPT_KIND && checkpoint.meta.config_crc == crc {
+                    system
+                        .load_state(&mut bz_state::Reader::new(&checkpoint.payload))
+                        .map_err(|e| format!("checkpoint restore failed: {e}"))?;
+                    start_minute = checkpoint.meta.tick_ms / 60_000;
+                    provenance.resumed = true;
+                }
+            }
+        }
+    }
+
+    let mut next_due_s = dir
+        .as_ref()
+        .map(|(_, cfg)| start_minute * 60 + cfg.every_s.max(1));
+    let every_s = dir.as_ref().map_or(u64::MAX, |(_, cfg)| cfg.every_s.max(1));
+    for minute in start_minute + 1..=spec.minutes {
+        if kills
+            .iter()
+            .any(|k| k.index == spec.index && k.minute == minute && attempt < k.attempts)
+        {
+            return Err(format!(
+                "killed by the crash-injection harness at minute {minute} (attempt {attempt})"
+            ));
+        }
+        system.run_seconds(60);
+        obs.record_counters(system.now().as_millis());
+        if let (Some((dir, _)), Some(due)) = (&dir, &mut next_due_s) {
+            let now_s = minute * 60;
+            if now_s >= *due {
+                let mut w = bz_state::Writer::new();
+                system.save_state(&mut w);
+                let checkpoint = bz_state::Checkpoint {
+                    meta: bz_state::CheckpointMeta {
+                        kind: RUN_CKPT_KIND.to_owned(),
+                        tick_ms: system.now().as_millis(),
+                        config_crc: crc,
+                        label: spec.label(),
+                    },
+                    payload: w.into_bytes(),
+                };
+                checkpoint
+                    .write_atomic(&dir.file_for_tick(system.now().as_millis()))
+                    .map_err(|e| format!("checkpoint write failed: {e}"))?;
+                dir.prune(RUN_CKPT_KEEP)
+                    .map_err(|e| format!("checkpoint prune failed: {e}"))?;
+                *due = now_s + every_s;
+            }
+        }
+    }
+    obs.disable();
+    let mut metrics_jsonl = Vec::new();
+    obs.write_jsonl(&mut metrics_jsonl)
+        .map_err(|e| format!("metrics export failed: {e}"))?;
+    let plant = system.plant();
+    let stats = system.network().stats();
+    let meters = plant.meters();
+    let energy_j = meters.radiant_chiller.get()
+        + meters.vent_chiller.get()
+        + meters.pumps.get()
+        + meters.fans.get();
+    let removed_j = meters.radiant_removed.get() + meters.vent_removed.get();
+    let lifetimes: Vec<f64> = system
+        .bt_device_reports()
+        .iter()
+        .filter_map(|r| r.lifetime_years)
+        .collect();
+    let summary = RunSummary {
+        t_end_c: plant.zone_temperature(SubspaceId::S1).get(),
+        dew_end_c: plant.zone_dew_point(SubspaceId::S1).get(),
+        condensate_kg: plant.panel_condensate_total(),
+        delivery_pct: 100.0 * stats.delivery_ratio(),
+        packets_sent: stats.offered,
+        energy_kj: energy_j / 1_000.0,
+        cop: if energy_j > 0.0 {
+            removed_j / energy_j
+        } else {
+            0.0
+        },
+        lifetime_y: if lifetimes.is_empty() {
+            0.0
+        } else {
+            lifetimes.iter().sum::<f64>() / lifetimes.len() as f64
+        },
+    };
+    let result = RunResult {
+        index: spec.index,
+        label: spec.label(),
+        seed: spec.seed,
+        scenario: spec.scenario.name(),
+        params: spec
+            .params
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join(";"),
+        summary,
+        metrics_jsonl,
+    };
+    if let Some((dir, _)) = &dir {
+        let record = bz_state::Checkpoint {
+            meta: bz_state::CheckpointMeta {
+                kind: RUN_DONE_KIND.to_owned(),
+                tick_ms: system.now().as_millis(),
+                config_crc: crc,
+                label: spec.label(),
+            },
+            payload: encode_result(&result),
+        };
+        record
+            .write_atomic(&dir.root().join("done.bzck"))
+            .map_err(|e| format!("completion record write failed: {e}"))?;
+    }
+    Ok((result, provenance))
+}
+
 /// Executes every run across `jobs` worker threads, work-stealing from a
 /// shared queue. Results come back indexed by [`RunSpec::index`] — the
 /// output is independent of scheduling because each run records into its
@@ -454,10 +736,89 @@ pub fn run_one(spec: &RunSpec) -> Result<RunResult, String> {
 /// completion order.
 #[must_use]
 pub fn execute(specs: &[RunSpec], jobs: usize) -> Vec<Result<RunResult, String>> {
-    let jobs = jobs.clamp(1, specs.len().max(1));
+    let plan = ExecutePlan {
+        jobs,
+        ..ExecutePlan::default()
+    };
+    let outcome = execute_plan(specs, &plan);
+    let mut slots: Vec<Result<RunResult, String>> = specs
+        .iter()
+        .map(|s| Err(format!("run {} produced no result", s.index)))
+        .collect();
+    for result in outcome.results {
+        let index = result.index;
+        slots[index] = Ok(result);
+    }
+    for q in outcome.quarantined {
+        slots[q.index] = Err(q.error);
+    }
+    slots
+}
+
+/// How [`execute_plan`] runs a sweep: parallelism, crash-safety, retry
+/// policy, and the deterministic kill harness.
+#[derive(Debug, Clone, Default)]
+pub struct ExecutePlan {
+    /// Worker threads (clamped to 1..=runs).
+    pub jobs: usize,
+    /// Per-run checkpoints and completion records; `None` disables
+    /// crash-safety.
+    pub checkpoints: Option<SweepCheckpoints>,
+    /// Re-attempts after a failed run (0 = fail fast into quarantine).
+    pub retries: u32,
+    /// Base backoff between attempts; attempt `n` waits `base << n`.
+    pub backoff_ms: u64,
+    /// Deterministic kill schedule (crash-injection tests).
+    pub kills: Vec<KillRule>,
+}
+
+/// A run that kept failing after every retry: reported, excluded from
+/// the merged results, never allowed to wedge the sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedRun {
+    /// The failed run's index.
+    pub index: usize,
+    /// The failed run's label.
+    pub label: String,
+    /// Error from the final attempt.
+    pub error: String,
+    /// Attempts made (1 + retries).
+    pub attempts: u32,
+}
+
+/// Outcome of [`execute_plan`]: completed results sorted by index, plus
+/// the recovery bookkeeping.
+#[derive(Debug, Clone, Default)]
+pub struct SweepOutcome {
+    /// Successful runs, sorted by run index.
+    pub results: Vec<RunResult>,
+    /// Runs that failed every attempt (poison detection).
+    pub quarantined: Vec<QuarantinedRun>,
+    /// Runs served from a completion record without re-executing.
+    pub cached: usize,
+    /// Runs resumed from a mid-run checkpoint.
+    pub resumed: usize,
+    /// Total retry attempts across the sweep.
+    pub retried: usize,
+}
+
+/// Executes a sweep under `plan`: work-stealing across threads, per-run
+/// crash-safety, retry-with-backoff, and quarantine for runs that fail
+/// every attempt. The merged reports over `results` are byte-identical
+/// for any jobs count and any mix of fresh, resumed, and cached runs,
+/// because each run's result bytes depend only on its spec.
+#[must_use]
+pub fn execute_plan(specs: &[RunSpec], plan: &ExecutePlan) -> SweepOutcome {
+    struct Shared {
+        slots: Vec<Option<Result<(RunResult, RunProvenance), QuarantinedRun>>>,
+        retried: usize,
+    }
+    let jobs = plan.jobs.clamp(1, specs.len().max(1));
     let next = AtomicUsize::new(0);
-    let slots: Mutex<Vec<Option<Result<RunResult, String>>>> =
-        Mutex::new(specs.iter().map(|_| None).collect());
+    let shared = Mutex::new(Shared {
+        slots: specs.iter().map(|_| None).collect(),
+        retried: 0,
+    });
     std::thread::scope(|scope| {
         for _ in 0..jobs {
             scope.spawn(|| loop {
@@ -465,17 +826,53 @@ pub fn execute(specs: &[RunSpec], jobs: usize) -> Vec<Result<RunResult, String>>
                 if i >= specs.len() {
                     break;
                 }
-                let result = run_one(&specs[i]);
-                slots.lock().expect("result slots poisoned")[i] = Some(result);
+                let spec = &specs[i];
+                let mut outcome = None;
+                for attempt in 0..=plan.retries {
+                    if attempt > 0 {
+                        shared.lock().expect("sweep state poisoned").retried += 1;
+                        if plan.backoff_ms > 0 {
+                            let wait = plan.backoff_ms << (attempt - 1).min(16);
+                            std::thread::sleep(std::time::Duration::from_millis(wait));
+                        }
+                    }
+                    match run_one_tracked(spec, plan.checkpoints.as_ref(), attempt, &plan.kills) {
+                        Ok(done) => {
+                            outcome = Some(Ok(done));
+                            break;
+                        }
+                        Err(error) => {
+                            outcome = Some(Err(QuarantinedRun {
+                                index: spec.index,
+                                label: spec.label(),
+                                error,
+                                attempts: attempt + 1,
+                            }));
+                        }
+                    }
+                }
+                shared.lock().expect("sweep state poisoned").slots[i] = outcome;
             });
         }
     });
-    slots
-        .into_inner()
-        .expect("result slots poisoned")
-        .into_iter()
-        .map(|slot| slot.expect("every job completed"))
-        .collect()
+    let shared = shared.into_inner().expect("sweep state poisoned");
+    let mut outcome = SweepOutcome {
+        retried: shared.retried,
+        ..SweepOutcome::default()
+    };
+    for slot in shared.slots {
+        match slot.expect("every job completed") {
+            Ok((result, provenance)) => {
+                outcome.cached += usize::from(provenance.cached);
+                outcome.resumed += usize::from(provenance.resumed);
+                outcome.results.push(result);
+            }
+            Err(q) => outcome.quarantined.push(q),
+        }
+    }
+    outcome.results.sort_by_key(|r| r.index);
+    outcome.quarantined.sort_by_key(|q| q.index);
+    outcome
 }
 
 /// Results sorted by run index (the permutation-invariance point: every
@@ -492,12 +889,12 @@ fn ordered(results: &[RunResult]) -> Vec<&RunResult> {
 pub fn report_csv(results: &[RunResult]) -> String {
     let mut out = String::from(
         "run,label,scenario,seed,params,t_end_c,dew_end_c,condensate_kg,delivery_pct,\
-         packets_sent,energy_kj,cop\n",
+         packets_sent,energy_kj,cop,lifetime_y\n",
     );
     for r in ordered(results) {
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{:.6},{:.6},{:.9},{:.3},{},{:.3},{:.4}",
+            "{},{},{},{},{},{:.6},{:.6},{:.9},{:.3},{},{:.3},{:.4},{:.2}",
             r.index,
             r.label,
             r.scenario,
@@ -510,6 +907,7 @@ pub fn report_csv(results: &[RunResult]) -> String {
             r.summary.packets_sent,
             r.summary.energy_kj,
             r.summary.cop,
+            r.summary.lifetime_y,
         );
     }
     out
@@ -525,7 +923,8 @@ pub fn report_jsonl(results: &[RunResult]) -> String {
             out,
             "{{\"run\":{},\"label\":\"{}\",\"scenario\":\"{}\",\"seed\":{},\"params\":\"{}\",\
              \"t_end_c\":{:.6},\"dew_end_c\":{:.6},\"condensate_kg\":{:.9},\
-             \"delivery_pct\":{:.3},\"packets_sent\":{},\"energy_kj\":{:.3},\"cop\":{:.4}}}",
+             \"delivery_pct\":{:.3},\"packets_sent\":{},\"energy_kj\":{:.3},\"cop\":{:.4},\
+             \"lifetime_y\":{:.2}}}",
             r.index,
             r.label,
             r.scenario,
@@ -538,6 +937,7 @@ pub fn report_jsonl(results: &[RunResult]) -> String {
             r.summary.packets_sent,
             r.summary.energy_kj,
             r.summary.cop,
+            r.summary.lifetime_y,
         );
     }
     out
@@ -723,13 +1123,20 @@ mod tests {
                 packets_sent: 1000,
                 energy_kj: 150.0,
                 cop: 4.5,
+                lifetime_y: 12.5,
             },
             metrics_jsonl: Vec::new(),
         }];
         let csv = report_csv(&results);
-        assert!(csv.lines().next().unwrap().ends_with("energy_kj,cop"));
-        assert!(csv.contains(",4.5000"), "missing cop value:\n{csv}");
+        assert!(csv
+            .lines()
+            .next()
+            .unwrap()
+            .ends_with("energy_kj,cop,lifetime_y"));
+        assert!(csv.contains(",4.5000,"), "missing cop value:\n{csv}");
+        assert!(csv.contains(",12.50"), "missing lifetime value:\n{csv}");
         assert!(report_jsonl(&results).contains("\"cop\":4.5000"));
+        assert!(report_jsonl(&results).contains("\"lifetime_y\":12.50"));
     }
 
     #[test]
@@ -804,6 +1211,7 @@ mod tests {
                 packets_sent: 10,
                 energy_kj: 120.0,
                 cop: 4.5,
+                lifetime_y: 0.0,
             },
             metrics_jsonl: Vec::new(),
         };
@@ -812,5 +1220,133 @@ mod tests {
         assert_eq!(report_csv(&shuffled), report_csv(&sorted));
         assert_eq!(report_jsonl(&shuffled), report_jsonl(&sorted));
         assert_eq!(summary_table(&shuffled), summary_table(&sorted));
+    }
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("bz-sweep-{name}"));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn kill_specs_parse_and_reject_garbage() {
+        let k = parse_kill("2:15").unwrap();
+        assert_eq!((k.index, k.minute, k.attempts), (2, 15, 1));
+        let k = parse_kill("0:3:4").unwrap();
+        assert_eq!((k.index, k.minute, k.attempts), (0, 3, 4));
+        for bad in ["", "3", "a:1", "1:b", "1:2:3:4"] {
+            assert!(parse_kill(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn sweeps_self_heal_from_injected_kills_with_identical_reports() {
+        let spec = SweepSpec {
+            scenario: Scenario::Trial,
+            seeds: vec![11, 12],
+            minutes: 3,
+            grid: vec![Vec::new()],
+        };
+        let specs = spec.expand();
+        let baseline = execute_plan(
+            &specs,
+            &ExecutePlan {
+                jobs: 2,
+                ..ExecutePlan::default()
+            },
+        );
+        assert_eq!(baseline.results.len(), 2);
+
+        // Kill run 1 at minute 2 on its first attempt: the retry resumes
+        // from the minute-1 checkpoint and must converge to the same bytes.
+        let plan = ExecutePlan {
+            jobs: 2,
+            checkpoints: Some(SweepCheckpoints {
+                root: scratch("self-heal"),
+                every_s: 60,
+                resume: true,
+            }),
+            retries: 2,
+            backoff_ms: 0,
+            kills: vec![KillRule {
+                index: 1,
+                minute: 2,
+                attempts: 1,
+            }],
+        };
+        let healed = execute_plan(&specs, &plan);
+        assert!(healed.quarantined.is_empty(), "{:?}", healed.quarantined);
+        assert!(healed.retried >= 1, "the kill must have forced a retry");
+        assert!(healed.resumed >= 1, "the retry must resume, not restart");
+        assert_eq!(report_csv(&healed.results), report_csv(&baseline.results));
+        assert_eq!(
+            report_jsonl(&healed.results),
+            report_jsonl(&baseline.results)
+        );
+        for (a, b) in healed.results.iter().zip(&baseline.results) {
+            assert_eq!(a.metrics_jsonl, b.metrics_jsonl, "{} diverged", a.label);
+        }
+    }
+
+    #[test]
+    fn runs_that_fail_every_attempt_are_quarantined() {
+        let spec = SweepSpec {
+            scenario: Scenario::Trial,
+            seeds: vec![21, 22],
+            minutes: 1,
+            grid: vec![Vec::new()],
+        };
+        let plan = ExecutePlan {
+            jobs: 2,
+            retries: 1,
+            kills: vec![KillRule {
+                index: 0,
+                minute: 1,
+                attempts: u32::MAX,
+            }],
+            ..ExecutePlan::default()
+        };
+        let outcome = execute_plan(&spec.expand(), &plan);
+        assert_eq!(outcome.results.len(), 1);
+        assert_eq!(outcome.results[0].index, 1);
+        assert_eq!(outcome.quarantined.len(), 1);
+        let q = &outcome.quarantined[0];
+        assert_eq!((q.index, q.attempts), (0, 2));
+        assert!(q.error.contains("killed"), "unexpected error: {}", q.error);
+    }
+
+    #[test]
+    fn restarted_sweeps_serve_completed_runs_from_done_records() {
+        let spec = SweepSpec {
+            scenario: Scenario::Trial,
+            seeds: vec![31],
+            minutes: 1,
+            grid: vec![Vec::new()],
+        };
+        let specs = spec.expand();
+        let checkpoints = Some(SweepCheckpoints {
+            root: scratch("done-cache"),
+            every_s: 600,
+            resume: true,
+        });
+        let plan = ExecutePlan {
+            jobs: 1,
+            checkpoints,
+            ..ExecutePlan::default()
+        };
+        let first = execute_plan(&specs, &plan);
+        assert_eq!(first.cached, 0);
+        let second = execute_plan(&specs, &plan);
+        assert_eq!(second.cached, 1, "the restart must not re-run the sweep");
+        assert_eq!(
+            report_csv(&second.results),
+            report_csv(&first.results),
+            "cached results must merge to identical bytes"
+        );
+        assert_eq!(
+            second.results[0].metrics_jsonl,
+            first.results[0].metrics_jsonl
+        );
     }
 }

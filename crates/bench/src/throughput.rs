@@ -12,6 +12,7 @@
 //! buffer reuse, batched event pops) never change what the simulation
 //! computes, only how fast it computes it.
 
+use std::path::Path;
 use std::time::Instant;
 
 use bz_core::system::{BubbleZeroSystem, SystemConfig};
@@ -114,6 +115,69 @@ pub fn measure_trial(sim_minutes: u64, seed: u64) -> ThroughputReport {
     }
 }
 
+/// Like [`measure_trial`], but with crash-safe checkpointing in the
+/// timed loop: every `every_s` simulated seconds the full system state
+/// is snapshotted and written atomically into `dir`, exactly as `bzctl
+/// trial --checkpoint-every` does. Comparing this against the plain
+/// measurement puts a number on the checkpointing tax.
+///
+/// # Errors
+///
+/// Returns a message when a checkpoint cannot be written.
+pub fn measure_trial_with_checkpoints(
+    sim_minutes: u64,
+    seed: u64,
+    every_s: u64,
+    dir: &Path,
+) -> Result<ThroughputReport, String> {
+    let dir = bz_state::CheckpointDir::create(dir)
+        .map_err(|e| format!("cannot create checkpoint dir: {e}"))?;
+    let every_s = every_s.max(1);
+    let mut warmup = trial_system(seed);
+    warmup.run_seconds((sim_minutes * 60).max(120));
+    std::hint::black_box(warmup.now());
+
+    let mut system = trial_system(seed);
+    let sim_seconds = sim_minutes * 60;
+    let crc = bz_state::crc64::checksum(format!("bench seed={seed}").as_bytes());
+    let mut next_due = every_s;
+    let start = Instant::now();
+    let mut done = 0;
+    while done < sim_seconds {
+        let step = every_s.min(sim_seconds - done);
+        system.run_seconds(step);
+        done += step;
+        if done >= next_due {
+            let mut w = bz_state::Writer::new();
+            system.save_state(&mut w);
+            let checkpoint = bz_state::Checkpoint {
+                meta: bz_state::CheckpointMeta {
+                    kind: "bench".to_owned(),
+                    tick_ms: system.now().as_millis(),
+                    config_crc: crc,
+                    label: "bench-throughput".to_owned(),
+                },
+                payload: w.into_bytes(),
+            };
+            checkpoint
+                .write_atomic(&dir.file_for_tick(system.now().as_millis()))
+                .map_err(|e| format!("checkpoint write failed: {e}"))?;
+            dir.prune(3)
+                .map_err(|e| format!("checkpoint prune failed: {e}"))?;
+            next_due += every_s;
+        }
+    }
+    let wall = start.elapsed();
+    let _anchor = std::hint::black_box(system.now());
+    let wall_seconds = wall.as_secs_f64().max(1e-9);
+    Ok(ThroughputReport {
+        seed,
+        sim_seconds,
+        wall_seconds,
+        sim_per_wall: sim_seconds as f64 / wall_seconds,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,6 +205,23 @@ mod tests {
         let with_base = report.to_json(Some(4_000.0));
         assert!(with_base.contains("\"baseline_sim_per_wall\": 4000.0"));
         assert!(with_base.contains("\"speedup_vs_baseline\": 3.00"));
+    }
+
+    #[test]
+    fn checkpointed_measurement_leaves_a_restorable_file_behind() {
+        let dir = std::env::temp_dir().join("bz-bench-ckpt-measure");
+        std::fs::remove_dir_all(&dir).ok();
+        let report = measure_trial_with_checkpoints(2, DEFAULT_SEED, 60, &dir).unwrap();
+        assert_eq!(report.sim_seconds, 120);
+        let scan = bz_state::CheckpointDir::open(&dir).latest_good().unwrap();
+        let (_, checkpoint) = scan.best.expect("a checkpoint was written");
+        assert_eq!(checkpoint.meta.kind, "bench");
+        assert_eq!(checkpoint.meta.tick_ms, 120_000);
+        let mut restored = trial_system(DEFAULT_SEED);
+        restored
+            .load_state(&mut bz_state::Reader::new(&checkpoint.payload))
+            .unwrap();
+        assert_eq!(restored.now().as_millis(), 120_000);
     }
 
     #[test]

@@ -87,6 +87,7 @@ fn synthetic_results(n: usize) -> Vec<RunResult> {
                 packets_sent: 1000 + index as u64,
                 energy_kj: 150.0 + index as f64 * 2.0,
                 cop: 3.0 + index as f64 * 0.01,
+                lifetime_y: 2.0 + index as f64 * 0.1,
             },
             metrics_jsonl: format!("{{\"run\":{index}}}\n").into_bytes(),
         })

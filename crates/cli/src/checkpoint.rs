@@ -1,0 +1,482 @@
+//! Crash-safe checkpointing glue shared by the long-running `bzctl`
+//! commands.
+//!
+//! Every resumable command (`trial`, `endurance`, `chaos`, `mpc
+//! simulate`, `bench throughput`) accepts the same flag family:
+//!
+//! * `--checkpoint-dir DIR` — where snapshots live (required by the rest)
+//! * `--checkpoint-every SECS` — simulated seconds between snapshots
+//! * `--resume` — restore from the newest *good* snapshot in the dir
+//! * `--crash-at SECS` — deterministic crash injection for recovery tests
+//!
+//! The module owns flag parsing, the resume scan (corrupt or torn
+//! snapshots are reported and skipped in favor of the newest good one),
+//! the identity check that stops a checkpoint from one configuration
+//! being restored into another, and the periodic atomic writes. See
+//! `docs/CHECKPOINTS.md` for the on-disk format and guarantees.
+
+use std::path::PathBuf;
+
+use crate::args::{ArgError, Args};
+use bz_state::{Checkpoint, CheckpointDir, CheckpointMeta, Reader, StateError, Writer};
+
+/// The flags this module parses; commands splice them into their
+/// `expect_only` lists.
+pub const FLAGS: &[&str] = &["checkpoint-dir", "checkpoint-every", "resume", "crash-at"];
+
+/// Checkpoints retained per run directory.
+const KEEP: usize = 3;
+
+/// Parsed checkpoint flags, before binding to a specific command run.
+#[derive(Debug, Clone, Default)]
+pub struct CheckpointOpts {
+    /// Snapshot directory (`--checkpoint-dir`).
+    pub dir: Option<PathBuf>,
+    /// Simulated seconds between snapshots (`--checkpoint-every`).
+    pub every_s: Option<u64>,
+    /// Restore from the newest good snapshot (`--resume`).
+    pub resume: bool,
+    /// Crash (exit nonzero) once simulated time reaches this
+    /// (`--crash-at`), *after* any snapshot due at that instant.
+    pub crash_at_s: Option<u64>,
+}
+
+impl CheckpointOpts {
+    /// Extracts and validates the checkpoint flag family.
+    ///
+    /// # Errors
+    ///
+    /// Rejects malformed values, a zero cadence, and any of the family
+    /// used without `--checkpoint-dir`.
+    pub fn from_args(args: &Args) -> Result<Self, ArgError> {
+        let dir = match (args.flag("checkpoint-dir"), args.get("checkpoint-dir")) {
+            (true, None) => return Err(ArgError::new("flag --checkpoint-dir needs a value")),
+            (_, value) => value.map(PathBuf::from),
+        };
+        let every_s = match args.get_or("checkpoint-every", 0u64)? {
+            0 if args.flag("checkpoint-every") => {
+                return Err(ArgError::new(
+                    "--checkpoint-every must be a positive number of seconds",
+                ));
+            }
+            0 => None,
+            s => Some(s),
+        };
+        let crash_at_s = match args.get_or("crash-at", 0u64)? {
+            0 if args.flag("crash-at") => {
+                return Err(ArgError::new(
+                    "--crash-at must be a positive number of seconds",
+                ));
+            }
+            0 => None,
+            s => Some(s),
+        };
+        let resume = args.flag("resume");
+        let opts = Self {
+            dir,
+            every_s,
+            resume,
+            crash_at_s,
+        };
+        if opts.dir.is_none()
+            && (opts.every_s.is_some() || opts.resume || opts.crash_at_s.is_some())
+        {
+            return Err(ArgError::new(
+                "--checkpoint-every, --resume, and --crash-at need --checkpoint-dir DIR",
+            ));
+        }
+        Ok(opts)
+    }
+
+    /// True when any checkpointing behavior was requested.
+    #[must_use]
+    pub fn active(&self) -> bool {
+        self.dir.is_some()
+    }
+
+    /// Binds the options to one command run. `kind` tags the command
+    /// ("trial", "chaos", ...); `identity` is the canonical description
+    /// of everything that shapes the simulation (seed, duration,
+    /// scenario) — its CRC is stored in every snapshot and checked on
+    /// resume, so a checkpoint can never be silently restored into a
+    /// different run.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the checkpoint directory cannot be created.
+    pub fn session(&self, kind: &str, identity: &str) -> Result<Option<Session>, ArgError> {
+        let Some(root) = &self.dir else {
+            return Ok(None);
+        };
+        let dir = CheckpointDir::create(root)
+            .map_err(|e| ArgError::new(format!("cannot create checkpoint dir: {e}")))?;
+        Ok(Some(Session {
+            dir,
+            kind: kind.to_owned(),
+            label: identity.to_owned(),
+            config_crc: bz_state::crc64::checksum(identity.as_bytes()),
+            every_ms: self.every_s.map(|s| s * 1_000),
+            next_due_ms: self.every_s.map_or(u64::MAX, |s| s * 1_000),
+            crash_at_ms: self.crash_at_s.map(|s| s * 1_000),
+            resume: self.resume,
+        }))
+    }
+}
+
+/// What a resume scan found and did.
+#[derive(Debug, Clone, Default)]
+pub struct Resumed {
+    /// Simulated time of the restored snapshot; `None` when no usable
+    /// snapshot existed and the run starts fresh.
+    pub tick_ms: Option<u64>,
+    /// Human-readable notes: one line per corrupt snapshot skipped, plus
+    /// the outcome. The command prints these so recovery is visible.
+    pub notes: Vec<String>,
+}
+
+/// One command run's checkpointing state.
+#[derive(Debug)]
+pub struct Session {
+    dir: CheckpointDir,
+    kind: String,
+    label: String,
+    config_crc: u64,
+    every_ms: Option<u64>,
+    next_due_ms: u64,
+    crash_at_ms: Option<u64>,
+    resume: bool,
+}
+
+impl Session {
+    /// Scans for the newest good snapshot and, under `--resume`,
+    /// restores it through `restore`. Corrupt or torn snapshots are
+    /// reported in the notes and skipped; an older good snapshot wins
+    /// over a newer bad one.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the directory cannot be scanned, when the newest good
+    /// snapshot belongs to a different command or configuration, or when
+    /// its payload does not decode.
+    pub fn resume(
+        &mut self,
+        restore: impl FnOnce(&mut Reader<'_>) -> Result<(), StateError>,
+    ) -> Result<Resumed, ArgError> {
+        let mut resumed = Resumed::default();
+        if !self.resume {
+            return Ok(resumed);
+        }
+        let scan = self
+            .dir
+            .latest_good()
+            .map_err(|e| ArgError::new(format!("cannot scan checkpoint dir: {e}")))?;
+        for skipped in &scan.skipped {
+            resumed.notes.push(format!(
+                "skipping corrupt checkpoint {}: {}",
+                skipped.path.display(),
+                skipped.error
+            ));
+        }
+        let Some((path, checkpoint)) = scan.best else {
+            resumed
+                .notes
+                .push("no usable checkpoint found; starting fresh".to_owned());
+            return Ok(resumed);
+        };
+        if checkpoint.meta.kind != self.kind {
+            return Err(ArgError::new(format!(
+                "checkpoint {} was written by '{}' (this is '{}'); refusing to resume",
+                path.display(),
+                checkpoint.meta.kind,
+                self.kind
+            )));
+        }
+        if checkpoint.meta.config_crc != self.config_crc {
+            return Err(ArgError::new(format!(
+                "checkpoint {} was written under a different configuration ('{}', not '{}'); \
+                 refusing to resume",
+                path.display(),
+                checkpoint.meta.label,
+                self.label
+            )));
+        }
+        let mut reader = Reader::new(&checkpoint.payload);
+        restore(&mut reader).map_err(|e| {
+            ArgError::new(format!(
+                "checkpoint {} failed to restore: {e}",
+                path.display()
+            ))
+        })?;
+        let tick_ms = checkpoint.meta.tick_ms;
+        resumed.notes.push(format!(
+            "resumed from {} at t={}s",
+            path.display(),
+            tick_ms / 1_000
+        ));
+        resumed.tick_ms = Some(tick_ms);
+        if let Some(every) = self.every_ms {
+            self.next_due_ms = tick_ms + every;
+        }
+        Ok(resumed)
+    }
+
+    /// Called after every simulation step: writes a snapshot when one is
+    /// due (atomically, pruning to the retention window) and then fires
+    /// the `--crash-at` injection.
+    ///
+    /// # Errors
+    ///
+    /// Fails when a snapshot cannot be written, or — by design — with
+    /// the injected-crash error once `now_ms` reaches `--crash-at`.
+    pub fn after_step(
+        &mut self,
+        now_ms: u64,
+        save: impl FnOnce(&mut Writer),
+    ) -> Result<(), ArgError> {
+        if now_ms >= self.next_due_ms {
+            let mut w = Writer::new();
+            save(&mut w);
+            let checkpoint = Checkpoint {
+                meta: CheckpointMeta {
+                    kind: self.kind.clone(),
+                    tick_ms: now_ms,
+                    config_crc: self.config_crc,
+                    label: self.label.clone(),
+                },
+                payload: w.into_bytes(),
+            };
+            checkpoint
+                .write_atomic(&self.dir.file_for_tick(now_ms))
+                .map_err(|e| ArgError::new(format!("checkpoint write failed: {e}")))?;
+            self.dir
+                .prune(KEEP)
+                .map_err(|e| ArgError::new(format!("checkpoint prune failed: {e}")))?;
+            self.next_due_ms = now_ms + self.every_ms.unwrap_or(u64::MAX);
+        }
+        if let Some(crash_at) = self.crash_at_ms {
+            if now_ms >= crash_at {
+                return Err(ArgError::new(format!(
+                    "crash injected at t={}s (--crash-at)",
+                    now_ms / 1_000
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Renders `bzctl checkpoint inspect` for one file or a directory.
+///
+/// # Errors
+///
+/// Fails when the path does not exist or a single file fails to decode
+/// (directories report per-file status instead of failing).
+pub fn inspect(path: &str) -> Result<String, ArgError> {
+    let path = PathBuf::from(path);
+    if path.is_dir() {
+        let dir = CheckpointDir::open(&path);
+        let files = dir
+            .list()
+            .map_err(|e| ArgError::new(format!("cannot list {}: {e}", path.display())))?;
+        if files.is_empty() {
+            return Ok(format!("{}: no checkpoints\n", path.display()));
+        }
+        let mut out = String::new();
+        for (_, file) in files {
+            match Checkpoint::read(&file) {
+                Ok(checkpoint) => out.push_str(&format!(
+                    "{}: ok  {}\n",
+                    file.display(),
+                    describe(&checkpoint)
+                )),
+                Err(error) => out.push_str(&format!("{}: BAD  {error}\n", file.display())),
+            }
+        }
+        return Ok(out);
+    }
+    let checkpoint =
+        Checkpoint::read(&path).map_err(|e| ArgError::new(format!("{}: {e}", path.display())))?;
+    Ok(format!(
+        "{}: ok  {}\n",
+        path.display(),
+        describe(&checkpoint)
+    ))
+}
+
+fn describe(checkpoint: &Checkpoint) -> String {
+    format!(
+        "kind={} t={}s config_crc={:016x} label='{}' payload={} bytes",
+        checkpoint.meta.kind,
+        checkpoint.meta.tick_ms / 1_000,
+        checkpoint.meta.config_crc,
+        checkpoint.meta.label,
+        checkpoint.payload.len()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().map(|s| (*s).to_owned())).unwrap()
+    }
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("bz-cli-ckpt-{name}"));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn flags_require_the_directory() {
+        for orphan in [
+            &["--checkpoint-every", "60"][..],
+            &["--resume"][..],
+            &["--crash-at", "120"][..],
+        ] {
+            let err = CheckpointOpts::from_args(&parse(orphan)).unwrap_err();
+            assert!(
+                err.to_string().contains("--checkpoint-dir"),
+                "unexpected error: {err}"
+            );
+        }
+        let opts = CheckpointOpts::from_args(&parse(&[])).unwrap();
+        assert!(!opts.active());
+    }
+
+    #[test]
+    fn zero_cadence_is_rejected() {
+        let args = parse(&["--checkpoint-dir", "/tmp/x", "--checkpoint-every", "0"]);
+        assert!(CheckpointOpts::from_args(&args).is_err());
+    }
+
+    #[test]
+    fn periodic_writes_land_and_prune() {
+        let root = scratch("periodic");
+        let opts = CheckpointOpts {
+            dir: Some(root.clone()),
+            every_s: Some(60),
+            ..CheckpointOpts::default()
+        };
+        let mut session = opts.session("trial", "seed=1").unwrap().unwrap();
+        for minute in 1..=6u64 {
+            session
+                .after_step(minute * 60_000, |w| w.put_u64(minute))
+                .unwrap();
+        }
+        let listed = CheckpointDir::open(&root).list().unwrap();
+        assert_eq!(listed.len(), KEEP, "retention window enforced");
+        assert_eq!(listed.last().unwrap().0, 360_000);
+    }
+
+    #[test]
+    fn resume_restores_the_newest_good_and_reports_corruption() {
+        let root = scratch("resume");
+        let opts = CheckpointOpts {
+            dir: Some(root.clone()),
+            every_s: Some(60),
+            resume: true,
+            ..CheckpointOpts::default()
+        };
+        let mut session = opts.session("trial", "seed=1").unwrap().unwrap();
+        session.after_step(60_000, |w| w.put_u64(1)).unwrap();
+        session.after_step(120_000, |w| w.put_u64(2)).unwrap();
+        // Corrupt the newest file: flip a byte in the middle.
+        let newest = CheckpointDir::open(&root).file_for_tick(120_000);
+        let mut bytes = std::fs::read(&newest).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&newest, bytes).unwrap();
+
+        let mut fresh = opts.session("trial", "seed=1").unwrap().unwrap();
+        let mut restored = 0;
+        let resumed = fresh
+            .resume(|r| {
+                restored = r.take_u64()?;
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(resumed.tick_ms, Some(60_000), "older good snapshot wins");
+        assert_eq!(restored, 1);
+        assert!(
+            resumed.notes.iter().any(|n| n.contains("corrupt")),
+            "corruption must be reported: {:?}",
+            resumed.notes
+        );
+    }
+
+    #[test]
+    fn resume_rejects_checkpoints_from_other_configurations() {
+        let root = scratch("identity");
+        let opts = CheckpointOpts {
+            dir: Some(root.clone()),
+            every_s: Some(60),
+            resume: true,
+            ..CheckpointOpts::default()
+        };
+        let mut session = opts.session("trial", "seed=1").unwrap().unwrap();
+        session.after_step(60_000, |w| w.put_u64(1)).unwrap();
+
+        let mut other_seed = opts.session("trial", "seed=2").unwrap().unwrap();
+        let err = other_seed.resume(|_| Ok(())).unwrap_err();
+        assert!(
+            err.to_string().contains("different configuration"),
+            "unexpected error: {err}"
+        );
+
+        let mut other_kind = opts.session("chaos", "seed=1").unwrap().unwrap();
+        let err = other_kind.resume(|_| Ok(())).unwrap_err();
+        assert!(
+            err.to_string().contains("refusing to resume"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn crash_injection_fires_after_the_due_snapshot() {
+        let root = scratch("crash");
+        let opts = CheckpointOpts {
+            dir: Some(root.clone()),
+            every_s: Some(60),
+            crash_at_s: Some(120),
+            ..CheckpointOpts::default()
+        };
+        let mut session = opts.session("trial", "seed=1").unwrap().unwrap();
+        session.after_step(60_000, |w| w.put_u64(1)).unwrap();
+        let err = session.after_step(120_000, |w| w.put_u64(2)).unwrap_err();
+        assert!(err.to_string().contains("crash injected"), "{err}");
+        // The snapshot due at the crash instant was still written.
+        let listed = CheckpointDir::open(&root).list().unwrap();
+        assert_eq!(listed.last().unwrap().0, 120_000);
+    }
+
+    #[test]
+    fn inspect_renders_good_and_bad_files() {
+        let root = scratch("inspect");
+        let opts = CheckpointOpts {
+            dir: Some(root.clone()),
+            every_s: Some(60),
+            ..CheckpointOpts::default()
+        };
+        let mut session = opts.session("trial", "seed=9").unwrap().unwrap();
+        session.after_step(60_000, |w| w.put_u64(1)).unwrap();
+        session.after_step(120_000, |w| w.put_u64(2)).unwrap();
+        let newest = CheckpointDir::open(&root).file_for_tick(120_000);
+        let bytes = std::fs::read(&newest).unwrap();
+        std::fs::write(&newest, &bytes[..bytes.len() - 4]).unwrap();
+
+        let report = inspect(root.to_str().unwrap()).unwrap();
+        assert!(report.contains("ok  kind=trial"), "{report}");
+        assert!(report.contains("BAD"), "{report}");
+        let single = inspect(
+            CheckpointDir::open(&root)
+                .file_for_tick(60_000)
+                .to_str()
+                .unwrap(),
+        )
+        .unwrap();
+        assert!(single.contains("t=60s"), "{single}");
+        assert!(inspect("/nonexistent/path.bzck").is_err());
+    }
+}

@@ -19,6 +19,7 @@ use bz_wsn::multihop::MultihopNetwork;
 use bz_bench::sweep;
 
 use crate::args::{ArgError, Args};
+use crate::checkpoint::CheckpointOpts;
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -30,7 +31,7 @@ USAGE:
 COMMANDS:
     trial      run the closed-loop afternoon trial
                  --minutes N (105)  --seed S  --csv PATH  --quiet
-                 --metrics-out PATH
+                 --metrics-out PATH  [checkpoint flags]
     cop        steady-state COP comparison vs the AirCon baseline
                  --settle-mins N (40)  --meter-mins N (20)
                  --metrics-out PATH
@@ -44,11 +45,15 @@ COMMANDS:
                  --minutes N (10)  --csv PATH  --metrics-out PATH
     endurance  long continuous run with periodic events
                  --days N (1)  --metrics-out PATH  --stream
+                 [checkpoint flags]
     sweep      parallel batch of independent scenario runs
                  --scenario trial|network|endurance (trial)
                  --runs N (4)  --seed-base S  --minutes N (5)
                  --grid \"key=v1,v2;key2=v3\"  --jobs N (1)
                  --out-dir DIR  --metrics-out PATH  --quiet
+                 --checkpoint-dir DIR  --checkpoint-every SECS  --resume
+                 --retries N (0)  --backoff-ms MS (250)
+                 --kill index:minute[:attempts][,...]  (crash harness)
                  grid keys: dew-margin-k control-period-s ac-period-s
                  residual-loss bt-fixed occupancy-rate weather-seed
                  strategy
@@ -56,14 +61,28 @@ COMMANDS:
                  throughput  --minutes N (1920)  --seed S
                  --json-out PATH (BENCH_0007.json)  --baseline F
                  --check --min-sim-per-wall F
+                 --checkpoint-dir DIR --checkpoint-every SECS
+                   (measure the checkpointing tax)
     chaos      full-stack fault-injection run with a resilience report
                  --scenario PATH (bundled)  --minutes N  --seed S
-                 --metrics-out PATH
+                 --metrics-out PATH  [checkpoint flags]
     mpc        occupancy-aware model-predictive control (bz-predict)
                  --scenario PATH (bundled office)  --minutes N  --seed S
                  --horizon N (15)  --compare  --jobs N (1)
                  --metrics-out PATH  --flamegraph-out PATH  --quiet
+                 [checkpoint flags]
+    checkpoint  inspect snapshot files or directories
+                 inspect PATH  (file or --checkpoint-dir directory)
     help       print this text
+
+checkpoint flags (see docs/CHECKPOINTS.md):
+    --checkpoint-dir DIR     where crash-safe snapshots live
+    --checkpoint-every SECS  simulated seconds between snapshots
+    --resume                 restore from the newest good snapshot
+    --crash-at SECS          deterministic crash injection (testing)
+A resumed run continues bit-identically: its exports are byte-identical
+to the same run never having been interrupted. Corrupt or torn snapshot
+files are reported, skipped, and the newest good one used instead.
 
 `--metrics-out PATH` enables the bz-obs telemetry layer for the run and
 writes the collected metrics to PATH — JSONL by default, CSV when PATH
@@ -92,6 +111,9 @@ byte-identical for any `--jobs` value.
 pub fn run(command: &str, raw: Vec<String>) -> Result<String, ArgError> {
     if command == "bench" {
         return bench(raw);
+    }
+    if command == "checkpoint" {
+        return checkpoint_inspect(raw);
     }
     let args = Args::parse(raw)?;
     match command {
@@ -182,18 +204,31 @@ fn metrics_finish(telemetry: &Telemetry, streamed: bool, out: &mut String) -> Re
     Ok(())
 }
 
+/// Splices the shared checkpoint flag family into a command's known
+/// flags before the `expect_only` typo check.
+fn expect_only_with_checkpoints(args: &Args, base: &[&str]) -> Result<(), ArgError> {
+    let mut known: Vec<&str> = base.to_vec();
+    known.extend_from_slice(crate::checkpoint::FLAGS);
+    args.expect_only(&known)
+}
+
 fn trial(args: &Args) -> Result<String, ArgError> {
-    args.expect_only(&[
-        "minutes",
-        "seed",
-        "csv",
-        "quiet",
-        "metrics-out",
-        "flamegraph-out",
-    ])?;
+    expect_only_with_checkpoints(
+        args,
+        &[
+            "minutes",
+            "seed",
+            "csv",
+            "quiet",
+            "metrics-out",
+            "flamegraph-out",
+        ],
+    )?;
     let minutes: u64 = args.get_or("minutes", 105)?;
     let seed: u64 = args.get_or("seed", 0x5EED_0001)?;
     let quiet = args.flag("quiet");
+    let opts = CheckpointOpts::from_args(args)?;
+    let mut session = opts.session("trial", &format!("trial seed={seed} minutes={minutes}"))?;
     let metrics = metrics_begin(args)?;
 
     let plant = PlantConfig::bubble_zero_lab()
@@ -206,7 +241,21 @@ fn trial(args: &Args) -> Result<String, ArgError> {
     let mut system = BubbleZeroSystem::new(config);
     let mut trace = TraceRecorder::new();
     let mut out = String::new();
-    for minute in 1..=minutes {
+    let mut start_minute = 0;
+    if let Some(session) = &mut session {
+        let resumed = session.resume(|r| {
+            system.load_state(r)?;
+            trace = bz_state::Persist::load(r)?;
+            Ok(())
+        })?;
+        for note in &resumed.notes {
+            out += &format!("{note}\n");
+        }
+        if let Some(tick_ms) = resumed.tick_ms {
+            start_minute = tick_ms / 60_000;
+        }
+    }
+    for minute in start_minute + 1..=minutes {
         system.run_seconds(60);
         // Per-minute counter samples give the export trajectories, not
         // just end-of-run totals.
@@ -233,6 +282,12 @@ fn trial(args: &Args) -> Result<String, ArgError> {
                 plant.telemetry().radiant_heat_removed_w,
                 plant.telemetry().vent_heat_removed_w,
             );
+        }
+        if let Some(session) = &mut session {
+            session.after_step(system.now().as_millis(), |w| {
+                system.save_state(w);
+                bz_state::Persist::save(&trace, w);
+            })?;
         }
     }
     let plant = system.plant();
@@ -481,11 +536,20 @@ traffic by type:
 }
 
 fn endurance(args: &Args) -> Result<String, ArgError> {
-    args.expect_only(&["days", "metrics-out", "flamegraph-out", "stream"])?;
+    expect_only_with_checkpoints(args, &["days", "metrics-out", "flamegraph-out", "stream"])?;
     let days: u64 = args.get_or("days", 1)?;
     if days == 0 || days > 30 {
         return Err(ArgError::new("--days must be between 1 and 30"));
     }
+    let opts = CheckpointOpts::from_args(args)?;
+    if opts.active() && args.flag("stream") {
+        // Streamed metrics bypass the in-memory registry, so there is no
+        // registry state to snapshot — the two modes are exclusive.
+        return Err(ArgError::new(
+            "--stream cannot be combined with checkpointing flags",
+        ));
+    }
+    let mut session = opts.session("endurance", &format!("endurance days={days}"))?;
     let metrics = metrics_begin(args)?;
     let stream = args.flag("stream");
     if stream {
@@ -513,7 +577,17 @@ fn endurance(args: &Args) -> Result<String, ArgError> {
         .with_disturbances(DisturbanceSchedule::periodic_events(duration, &mut rng));
     let mut system = BubbleZeroSystem::new(SystemConfig::paper_deployment(plant));
     let mut out = String::new();
-    for day in 1..=days {
+    let mut start_day = 0;
+    if let Some(session) = &mut session {
+        let resumed = session.resume(|r| system.load_state(r))?;
+        for note in &resumed.notes {
+            out += &format!("{note}\n");
+        }
+        if let Some(tick_ms) = resumed.tick_ms {
+            start_day = tick_ms / (24 * 3_600_000);
+        }
+    }
+    for day in start_day + 1..=days {
         system.run_seconds(24 * 3_600);
         bz_obs::record_counters(system.now().as_millis());
         out += &format!(
@@ -523,6 +597,9 @@ fn endurance(args: &Args) -> Result<String, ArgError> {
             system.plant().zone_dew_point(SubspaceId::S1).get(),
             system.plant().panel_condensate_total(),
         );
+        if let Some(session) = &mut session {
+            session.after_step(system.now().as_millis(), |w| system.save_state(w))?;
+        }
     }
     let reports = system.bt_device_reports();
     let mean_life =
@@ -554,6 +631,12 @@ fn sweep(args: &Args) -> Result<String, ArgError> {
         "out-dir",
         "metrics-out",
         "quiet",
+        "checkpoint-dir",
+        "checkpoint-every",
+        "resume",
+        "retries",
+        "backoff-ms",
+        "kill",
     ])?;
     let scenario =
         sweep::Scenario::parse(args.get("scenario").unwrap_or("trial")).map_err(ArgError::new)?;
@@ -585,6 +668,19 @@ fn sweep(args: &Args) -> Result<String, ArgError> {
         None => None,
     };
 
+    let opts = CheckpointOpts::from_args(args)?;
+    let retries: u32 = args.get_or("retries", 0)?;
+    let backoff_ms: u64 = args.get_or("backoff-ms", 250)?;
+    let kills = match args.get("kill") {
+        Some(spec) => spec
+            .split(',')
+            .map(sweep::parse_kill)
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(ArgError::new)?,
+        None if args.flag("kill") => return Err(ArgError::new("flag --kill needs a value")),
+        None => Vec::new(),
+    };
+
     let spec = sweep::SweepSpec {
         scenario,
         seeds: (0..runs).map(|i| seed_base + i).collect(),
@@ -592,10 +688,33 @@ fn sweep(args: &Args) -> Result<String, ArgError> {
         grid,
     };
     let run_specs = spec.expand();
-    let results: Vec<sweep::RunResult> = sweep::execute(&run_specs, jobs)
-        .into_iter()
-        .collect::<Result<_, _>>()
-        .map_err(ArgError::new)?;
+    let plan = sweep::ExecutePlan {
+        jobs,
+        checkpoints: opts.dir.as_ref().map(|root| sweep::SweepCheckpoints {
+            root: root.clone(),
+            every_s: opts.every_s.unwrap_or(60),
+            resume: opts.resume,
+        }),
+        retries,
+        backoff_ms,
+        kills,
+    };
+    let outcome = sweep::execute_plan(&run_specs, &plan);
+    if !outcome.quarantined.is_empty() {
+        let mut lines = String::new();
+        for q in &outcome.quarantined {
+            lines += &format!(
+                "\n  run {} ({}) failed {} attempt(s): {}",
+                q.index, q.label, q.attempts, q.error
+            );
+        }
+        return Err(ArgError::new(format!(
+            "{} of {} run(s) quarantined after exhausting retries:{lines}",
+            outcome.quarantined.len(),
+            run_specs.len(),
+        )));
+    }
+    let results = outcome.results;
 
     let mut out = format!(
         "sweep: {} run(s) of {} minute(s) each ({} scenario, {} job(s))\n",
@@ -604,6 +723,13 @@ fn sweep(args: &Args) -> Result<String, ArgError> {
         scenario.name(),
         jobs,
     );
+    if opts.active() {
+        out += &format!(
+            "crash-safety: {} run(s) served from completion records, \
+             {} resumed mid-run, {} retry attempt(s)\n",
+            outcome.cached, outcome.resumed, outcome.retried,
+        );
+    }
     if let Some(dir) = &out_dir {
         std::fs::create_dir_all(dir)
             .map_err(|e| ArgError::new(format!("cannot create {dir}: {e}")))?;
@@ -658,6 +784,8 @@ fn bench(raw: Vec<String>) -> Result<String, ArgError> {
         "baseline",
         "check",
         "min-sim-per-wall",
+        "checkpoint-dir",
+        "checkpoint-every",
     ])?;
     let minutes: u64 = args.get_or("minutes", bz_bench::throughput::DEFAULT_SIM_MINUTES)?;
     if minutes == 0 {
@@ -679,9 +807,27 @@ fn bench(raw: Vec<String>) -> Result<String, ArgError> {
         return Err(ArgError::new("--check needs --min-sim-per-wall FLOOR"));
     }
 
-    let report = bz_bench::throughput::measure_trial(minutes, seed);
+    let opts = CheckpointOpts::from_args(&args)?;
+    let report = match (&opts.dir, opts.every_s) {
+        (Some(dir), Some(every_s)) => {
+            bz_bench::throughput::measure_trial_with_checkpoints(minutes, seed, every_s, dir)
+                .map_err(ArgError::new)?
+        }
+        (Some(_), None) => {
+            return Err(ArgError::new(
+                "bench --checkpoint-dir needs --checkpoint-every SECS",
+            ))
+        }
+        _ => bz_bench::throughput::measure_trial(minutes, seed),
+    };
     let mut out = report.summary_line();
     out += "\n";
+    if opts.active() {
+        out += &format!(
+            "(with a checkpoint every {} simulated seconds)\n",
+            opts.every_s.unwrap_or(0),
+        );
+    }
     if let Some(base) = baseline {
         out += &format!(
             "baseline {base:.0} sim-s/wall-s, speedup {:.2}x\n",
@@ -708,19 +854,38 @@ fn bench(raw: Vec<String>) -> Result<String, ArgError> {
     Ok(out)
 }
 
+/// `bzctl checkpoint inspect PATH`: prints the metadata of one snapshot
+/// file, or the per-file status (including corruption diagnostics) of a
+/// whole checkpoint directory.
+fn checkpoint_inspect(raw: Vec<String>) -> Result<String, ArgError> {
+    let usage = "usage: bzctl checkpoint inspect PATH";
+    let mut raw = raw;
+    if raw.first().map(String::as_str) != Some("inspect") {
+        return Err(ArgError::new(usage));
+    }
+    raw.remove(0);
+    let [path] = raw.as_slice() else {
+        return Err(ArgError::new(usage));
+    };
+    crate::checkpoint::inspect(path)
+}
+
 /// Loads a chaos scenario (the bundled acceptance scenario unless
 /// `--scenario PATH` points at a JSON file), applies any `--minutes` /
 /// `--seed` overrides, runs it, and prints the resilience report. The
 /// machine-greppable `chaos-result:` line carries the headline numbers
 /// for CI smoke checks.
 fn chaos(args: &Args) -> Result<String, ArgError> {
-    args.expect_only(&[
-        "scenario",
-        "minutes",
-        "seed",
-        "metrics-out",
-        "flamegraph-out",
-    ])?;
+    expect_only_with_checkpoints(
+        args,
+        &[
+            "scenario",
+            "minutes",
+            "seed",
+            "metrics-out",
+            "flamegraph-out",
+        ],
+    )?;
     let mut scenario = match args.get("scenario") {
         Some(path) => {
             let text = std::fs::read_to_string(path)
@@ -739,10 +904,32 @@ fn chaos(args: &Args) -> Result<String, ArgError> {
     }
     scenario.duration = SimDuration::from_mins(minutes);
     scenario.seed = args.get_or("seed", scenario.seed)?;
+    let opts = CheckpointOpts::from_args(args)?;
+    let mut session = opts.session(
+        "chaos",
+        &format!(
+            "chaos scenario={} seed={} minutes={minutes}",
+            scenario.name, scenario.seed
+        ),
+    )?;
     let metrics = metrics_begin(args)?;
 
-    let report = scenario.run();
-    let mut out = report.render();
+    let mut chaos_run = scenario.begin_with_obs(bz_obs::Handle::global());
+    let mut out = String::new();
+    if let Some(session) = &mut session {
+        let resumed = session.resume(|r| chaos_run.load_state(r))?;
+        for note in &resumed.notes {
+            out += &format!("{note}\n");
+        }
+    }
+    while !chaos_run.is_done() {
+        chaos_run.step_minute();
+        if let Some(session) = &mut session {
+            session.after_step(chaos_run.now_ms(), |w| chaos_run.save_state(w))?;
+        }
+    }
+    let report = chaos_run.finish();
+    out += &report.render();
     out += "\n";
     out += &report.summary_line();
     out += "\n";
@@ -759,17 +946,20 @@ fn chaos(args: &Args) -> Result<String, ArgError> {
 /// `--flamegraph-out` receive the MPC run's export directly and the
 /// bytes are identical for any `--jobs` value.
 fn mpc(args: &Args) -> Result<String, ArgError> {
-    args.expect_only(&[
-        "scenario",
-        "minutes",
-        "seed",
-        "horizon",
-        "compare",
-        "jobs",
-        "metrics-out",
-        "flamegraph-out",
-        "quiet",
-    ])?;
+    expect_only_with_checkpoints(
+        args,
+        &[
+            "scenario",
+            "minutes",
+            "seed",
+            "horizon",
+            "compare",
+            "jobs",
+            "metrics-out",
+            "flamegraph-out",
+            "quiet",
+        ],
+    )?;
     let mut scenario = match args.get("scenario") {
         Some(path) => {
             let text = std::fs::read_to_string(path)
@@ -808,6 +998,20 @@ fn mpc(args: &Args) -> Result<String, ArgError> {
     };
     let metrics_path = path_of("metrics-out")?;
     let flame_path = path_of("flamegraph-out")?;
+    let opts = CheckpointOpts::from_args(args)?;
+    if opts.active() && args.flag("compare") {
+        return Err(ArgError::new(
+            "checkpointing flags apply to a single `mpc` simulation, not --compare \
+             (checkpoint the strategies as separate runs instead)",
+        ));
+    }
+    let mut session = opts.session(
+        "mpc",
+        &format!(
+            "mpc scenario={} seed={} minutes={minutes} horizon={}",
+            scenario.name, scenario.seed, config.horizon
+        ),
+    )?;
 
     let mut out = String::new();
     let mpc_run = if args.flag("compare") {
@@ -820,7 +1024,20 @@ fn mpc(args: &Args) -> Result<String, ArgError> {
         }
         report.mpc
     } else {
-        let run = bz_predict::compare::run_strategy(&scenario, Some(config));
+        let mut strategy_run = bz_predict::compare::begin_strategy(&scenario, Some(config));
+        if let Some(session) = &mut session {
+            let resumed = session.resume(|r| strategy_run.load_state(r))?;
+            for note in &resumed.notes {
+                out += &format!("{note}\n");
+            }
+        }
+        while !strategy_run.is_done() {
+            strategy_run.step_minute();
+            if let Some(session) = &mut session {
+                session.after_step(strategy_run.now_ms(), |w| strategy_run.save_state(w))?;
+            }
+        }
+        let run = strategy_run.finish();
         out += &format!(
             "mpc run: scenario {} ({minutes} min, seed {})\n\
              energy {:.1} kJ (radiant chiller {:.1}, vent chiller {:.1}, pumps {:.1}, fans {:.1})\n\
@@ -1160,6 +1377,326 @@ mod tests {
         assert!(stacks.lines().all(|l| l
             .rsplit_once(' ')
             .is_some_and(|(_, n)| n.parse::<u64>().is_ok())));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn run_err(command: &str, flags: &[&str]) -> String {
+        run(command, flags.iter().map(|s| (*s).to_owned()).collect())
+            .unwrap_err()
+            .to_string()
+    }
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("bzctl-ckpt-{name}"));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn checkpoint_flags_validate_across_commands() {
+        let err = run_err("trial", &["--resume", "--minutes", "1", "--quiet"]);
+        assert!(err.contains("--checkpoint-dir"), "{err}");
+        let err = run_err(
+            "endurance",
+            &["--stream", "--checkpoint-dir", "/tmp/x", "--days", "1"],
+        );
+        assert!(err.contains("--stream cannot be combined"), "{err}");
+        let err = run_err(
+            "mpc",
+            &["--compare", "--checkpoint-dir", "/tmp/x", "--minutes", "3"],
+        );
+        assert!(err.contains("--compare"), "{err}");
+        let err = run_err(
+            "bench",
+            &["throughput", "--minutes", "1", "--checkpoint-dir", "/tmp/x"],
+        );
+        assert!(err.contains("--checkpoint-every"), "{err}");
+        assert!(run_err("checkpoint", &[]).contains("usage"));
+        assert!(run_err("checkpoint", &["frobnicate"]).contains("usage"));
+    }
+
+    #[test]
+    fn trial_crash_resume_reproduces_the_uninterrupted_csv() {
+        let dir = scratch("trial-resume");
+        let ckpt = dir.join("ckpt");
+        let baseline_csv = dir.join("baseline.csv");
+        let resumed_csv = dir.join("resumed.csv");
+        run_ok(
+            "trial",
+            &[
+                "--minutes",
+                "4",
+                "--quiet",
+                "--csv",
+                baseline_csv.to_str().unwrap(),
+            ],
+        );
+        // First attempt: checkpoints every simulated minute, dies at 2.
+        let err = run_err(
+            "trial",
+            &[
+                "--minutes",
+                "4",
+                "--quiet",
+                "--checkpoint-dir",
+                ckpt.to_str().unwrap(),
+                "--checkpoint-every",
+                "60",
+                "--crash-at",
+                "120",
+            ],
+        );
+        assert!(err.contains("crash injected"), "{err}");
+        // Second attempt resumes from the t=120s snapshot and finishes.
+        let out = run_ok(
+            "trial",
+            &[
+                "--minutes",
+                "4",
+                "--quiet",
+                "--checkpoint-dir",
+                ckpt.to_str().unwrap(),
+                "--resume",
+                "--csv",
+                resumed_csv.to_str().unwrap(),
+            ],
+        );
+        assert!(out.contains("resumed from"), "{out}");
+        assert_eq!(
+            std::fs::read(&baseline_csv).unwrap(),
+            std::fs::read(&resumed_csv).unwrap(),
+            "resumed trial must reproduce the uninterrupted series byte-for-byte"
+        );
+        let inspect = run_ok("checkpoint", &["inspect", ckpt.to_str().unwrap()]);
+        assert!(inspect.contains("kind=trial"), "{inspect}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trial_resume_skips_a_corrupted_snapshot_for_the_previous_good_one() {
+        let dir = scratch("trial-corrupt");
+        let ckpt = dir.join("ckpt");
+        let baseline_csv = dir.join("baseline.csv");
+        let resumed_csv = dir.join("resumed.csv");
+        run_ok(
+            "trial",
+            &[
+                "--minutes",
+                "3",
+                "--quiet",
+                "--csv",
+                baseline_csv.to_str().unwrap(),
+            ],
+        );
+        let err = run_err(
+            "trial",
+            &[
+                "--minutes",
+                "3",
+                "--quiet",
+                "--checkpoint-dir",
+                ckpt.to_str().unwrap(),
+                "--checkpoint-every",
+                "60",
+                "--crash-at",
+                "120",
+            ],
+        );
+        assert!(err.contains("crash injected"), "{err}");
+        // Tear the newest snapshot mid-write: truncate to half its size.
+        let newest = bz_state::CheckpointDir::open(&ckpt).file_for_tick(120_000);
+        let bytes = std::fs::read(&newest).unwrap();
+        std::fs::write(&newest, &bytes[..bytes.len() / 2]).unwrap();
+        let inspect = run_ok("checkpoint", &["inspect", ckpt.to_str().unwrap()]);
+        assert!(inspect.contains("BAD"), "{inspect}");
+        let out = run_ok(
+            "trial",
+            &[
+                "--minutes",
+                "3",
+                "--quiet",
+                "--checkpoint-dir",
+                ckpt.to_str().unwrap(),
+                "--resume",
+                "--csv",
+                resumed_csv.to_str().unwrap(),
+            ],
+        );
+        assert!(out.contains("skipping corrupt checkpoint"), "{out}");
+        assert!(out.contains("resumed from"), "{out}");
+        assert!(out.contains("t=60s"), "{out}");
+        assert_eq!(
+            std::fs::read(&baseline_csv).unwrap(),
+            std::fs::read(&resumed_csv).unwrap(),
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn chaos_crash_resume_reproduces_the_uninterrupted_report() {
+        let dir = scratch("chaos-resume");
+        let ckpt = dir.join("ckpt");
+        let baseline = run_ok("chaos", &["--minutes", "6"]);
+        let err = run_err(
+            "chaos",
+            &[
+                "--minutes",
+                "6",
+                "--checkpoint-dir",
+                ckpt.to_str().unwrap(),
+                "--checkpoint-every",
+                "60",
+                "--crash-at",
+                "180",
+            ],
+        );
+        assert!(err.contains("crash injected"), "{err}");
+        let resumed = run_ok(
+            "chaos",
+            &[
+                "--minutes",
+                "6",
+                "--checkpoint-dir",
+                ckpt.to_str().unwrap(),
+                "--resume",
+            ],
+        );
+        assert!(resumed.contains("resumed from"), "{resumed}");
+        assert!(
+            resumed.ends_with(&baseline),
+            "resumed chaos report must match the uninterrupted one:\n--- baseline\n{baseline}\n--- resumed\n{resumed}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mpc_crash_resume_reproduces_the_uninterrupted_export() {
+        let dir = scratch("mpc-resume");
+        let ckpt = dir.join("ckpt");
+        let baseline_jsonl = dir.join("baseline.jsonl");
+        let resumed_jsonl = dir.join("resumed.jsonl");
+        run_ok(
+            "mpc",
+            &[
+                "--minutes",
+                "4",
+                "--metrics-out",
+                baseline_jsonl.to_str().unwrap(),
+            ],
+        );
+        let err = run_err(
+            "mpc",
+            &[
+                "--minutes",
+                "4",
+                "--checkpoint-dir",
+                ckpt.to_str().unwrap(),
+                "--checkpoint-every",
+                "60",
+                "--crash-at",
+                "120",
+            ],
+        );
+        assert!(err.contains("crash injected"), "{err}");
+        let out = run_ok(
+            "mpc",
+            &[
+                "--minutes",
+                "4",
+                "--checkpoint-dir",
+                ckpt.to_str().unwrap(),
+                "--resume",
+                "--metrics-out",
+                resumed_jsonl.to_str().unwrap(),
+            ],
+        );
+        assert!(out.contains("resumed from"), "{out}");
+        assert_eq!(
+            std::fs::read(&baseline_jsonl).unwrap(),
+            std::fs::read(&resumed_jsonl).unwrap(),
+            "resumed mpc metrics export must be byte-identical"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sweep_survives_kills_and_resumes_to_an_identical_merged_report() {
+        let dir = scratch("sweep-resume");
+        let ckpt = dir.join("ckpt");
+        let baseline = dir.join("baseline.jsonl");
+        let healed = dir.join("healed.jsonl");
+        let resumed = dir.join("resumed.jsonl");
+        let base_flags = ["--runs", "2", "--minutes", "3", "--jobs", "2", "--quiet"];
+        let with = |extra: &[&str], out_path: &std::path::Path| {
+            let mut flags: Vec<&str> = base_flags.to_vec();
+            flags.extend_from_slice(extra);
+            let out_str = out_path.to_str().unwrap().to_owned();
+            let mut argv: Vec<String> = flags.iter().map(|s| (*s).to_owned()).collect();
+            argv.push("--metrics-out".to_owned());
+            argv.push(out_str);
+            run("sweep", argv)
+        };
+        with(&[], &baseline).unwrap();
+        // In-process self-heal: kill run 1 at minute 2 once, retry resumes.
+        with(
+            &[
+                "--checkpoint-dir",
+                ckpt.to_str().unwrap(),
+                "--checkpoint-every",
+                "60",
+                "--retries",
+                "2",
+                "--backoff-ms",
+                "0",
+                "--kill",
+                "1:2",
+            ],
+            &healed,
+        )
+        .unwrap();
+        assert_eq!(
+            std::fs::read(&baseline).unwrap(),
+            std::fs::read(&healed).unwrap(),
+            "self-healed sweep must merge to the baseline bytes"
+        );
+        // Cross-invocation restart: a poisoned run quarantines the first
+        // sweep; the rerun with --resume completes every run and merges
+        // to the same bytes as a never-interrupted sweep.
+        let ckpt2 = dir.join("ckpt2");
+        let err = with(
+            &[
+                "--checkpoint-dir",
+                ckpt2.to_str().unwrap(),
+                "--checkpoint-every",
+                "60",
+                "--kill",
+                "0:2:9",
+            ],
+            &resumed,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("quarantined"), "{err}");
+        let out = with(
+            &[
+                "--checkpoint-dir",
+                ckpt2.to_str().unwrap(),
+                "--checkpoint-every",
+                "60",
+                "--resume",
+            ],
+            &resumed,
+        )
+        .unwrap();
+        assert!(
+            out.contains("served from completion records") || out.contains("resumed mid-run"),
+            "{out}"
+        );
+        assert_eq!(
+            std::fs::read(&baseline).unwrap(),
+            std::fs::read(&resumed).unwrap(),
+            "restarted sweep must merge to the baseline bytes"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -5,4 +5,5 @@
 #![warn(missing_docs)]
 
 pub mod args;
+pub mod checkpoint;
 pub mod commands;

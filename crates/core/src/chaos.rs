@@ -247,81 +247,181 @@ impl ChaosScenario {
     /// [`bz_obs::Handle::isolated`] for reproducible exports).
     #[must_use]
     pub fn run_with_obs(&self, obs: bz_obs::Handle) -> ResilienceReport {
-        let mut system = BubbleZeroSystem::with_obs(self.system_config(), obs.clone());
-        let targets = ComfortTargets::paper_trial();
-        let onset = self.onset();
-        let repair = self.repair_horizon();
+        let mut run = self.begin_with_obs(obs);
+        while !run.is_done() {
+            run.step_minute();
+        }
+        run.finish()
+    }
+
+    /// Starts the scenario as a resumable session: step it a minute at a
+    /// time, checkpoint it with [`ChaosRun::save_state`], and restore it
+    /// in a fresh process with [`ChaosRun::load_state`]. The whole-run
+    /// [`ChaosScenario::run_with_obs`] is a thin loop over this.
+    #[must_use]
+    pub fn begin_with_obs(&self, obs: bz_obs::Handle) -> ChaosRun {
+        let system = BubbleZeroSystem::with_obs(self.system_config(), obs.clone());
         let kinds = {
             let mut kinds: Vec<&'static str> = self.windows().iter().map(|w| w.2).collect();
             kinds.sort_unstable();
             kinds.dedup();
             kinds
         };
-        let windows = self.windows();
-        let total_s = self.duration.as_millis() / 1_000;
+        ChaosRun {
+            name: self.name.clone(),
+            onset: self.onset(),
+            repair: self.repair_horizon(),
+            kinds,
+            windows: self.windows(),
+            targets: ComfortTargets::paper_trial(),
+            total_s: self.duration.as_millis() / 1_000,
+            obs,
+            system,
+            violation_secs: [0; 4],
+            recovered_since: None,
+            second: 0,
+        }
+    }
+}
 
-        let mut violation_secs = [0u64; 4];
-        let mut recovered_since: Option<f64> = None;
-        for second in 1..=total_s {
-            system.step_second();
-            let now = system.now();
-            let in_fault_window = onset.is_some_and(|o| now >= o);
+/// An in-flight chaos run: the system under fault injection plus the
+/// resilience accumulators (violation seconds, the recovery hold timer).
+/// Both are covered by [`ChaosRun::save_state`], so a restored run's
+/// final [`ResilienceReport`] and metric export are byte-identical to an
+/// uninterrupted run's.
+pub struct ChaosRun {
+    name: String,
+    onset: Option<SimTime>,
+    repair: Option<SimTime>,
+    kinds: Vec<&'static str>,
+    windows: Vec<(SimTime, Option<SimTime>, &'static str)>,
+    targets: ComfortTargets,
+    total_s: u64,
+    obs: bz_obs::Handle,
+    system: BubbleZeroSystem,
+    violation_secs: [u64; 4],
+    recovered_since: Option<f64>,
+    second: u64,
+}
+
+impl ChaosRun {
+    /// Simulated milliseconds completed so far.
+    #[must_use]
+    pub fn now_ms(&self) -> u64 {
+        self.second * 1_000
+    }
+
+    /// True once the scheduled duration has fully run.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.second >= self.total_s
+    }
+
+    /// Advances up to one minute (less at the end of the run).
+    pub fn step_minute(&mut self) {
+        let batch_end = (self.second + 60).min(self.total_s);
+        while self.second < batch_end {
+            self.second += 1;
+            self.system.step_second();
+            let now = self.system.now();
+            let in_fault_window = self.onset.is_some_and(|o| now >= o);
             let mut all_in_band = true;
             {
-                let plant = system.plant();
+                let plant = self.system.plant();
                 for (i, id) in SubspaceId::ALL.iter().enumerate() {
                     let deviation =
-                        (plant.zone_temperature(*id).get() - targets.temperature.get()).abs();
+                        (plant.zone_temperature(*id).get() - self.targets.temperature.get()).abs();
                     if deviation > COMFORT_TOLERANCE_K {
                         all_in_band = false;
                         if in_fault_window {
-                            violation_secs[i] += 1;
+                            self.violation_secs[i] += 1;
                         }
                     }
                 }
             }
-            if let Some(repair_at) = repair {
+            if let Some(repair_at) = self.repair {
                 if now >= repair_at {
-                    if all_in_band && !system.supervisor().anything_flagged() {
-                        recovered_since.get_or_insert(now.as_secs_f64());
+                    if all_in_band && !self.system.supervisor().anything_flagged() {
+                        self.recovered_since.get_or_insert(now.as_secs_f64());
                     } else {
-                        recovered_since = None;
+                        self.recovered_since = None;
                     }
                 }
             }
-            if second % 60 == 0 && obs.is_enabled() {
-                for kind in &kinds {
-                    let active = windows.iter().any(|(at, repaired_at, k)| {
+            if self.second.is_multiple_of(60) && self.obs.is_enabled() {
+                for kind in &self.kinds {
+                    let active = self.windows.iter().any(|(at, repaired_at, k)| {
                         k == kind && now >= *at && repaired_at.is_none_or(|r| now < r)
                     });
-                    obs.gauge_set(
+                    self.obs.gauge_set(
                         format!("fault.{kind}.active"),
                         now.as_millis(),
                         f64::from(u8::from(active)),
                     );
                 }
-                obs.record_counters(now.as_millis());
+                self.obs.record_counters(now.as_millis());
             }
         }
+    }
 
-        let onset_s = onset.map(|t| t.as_secs_f64());
-        let last_repair_s = repair.map(|t| t.as_secs_f64());
+    /// Serializes the dynamic run state: the full system plus the
+    /// resilience accumulators.
+    pub fn save_state(&self, w: &mut bz_state::Writer) {
+        use bz_state::Persist;
+        self.system.save_state(w);
+        self.violation_secs.save(w);
+        self.recovered_since.save(w);
+        w.put_u64(self.second);
+    }
+
+    /// Restores state written by [`ChaosRun::save_state`] into a run
+    /// freshly built from the *same* scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`bz_state::StateError`] for truncated or corrupt
+    /// payloads, or a checkpoint taken past this run's duration.
+    pub fn load_state(&mut self, r: &mut bz_state::Reader<'_>) -> Result<(), bz_state::StateError> {
+        use bz_state::Persist;
+        self.system.load_state(r)?;
+        self.violation_secs = Persist::load(r)?;
+        self.recovered_since = Persist::load(r)?;
+        let second = r.take_u64()?;
+        if second > self.total_s {
+            return Err(bz_state::StateError::Invalid {
+                what: "ChaosRun",
+                reason: format!(
+                    "checkpoint is {second}s into a run of only {}s",
+                    self.total_s
+                ),
+            });
+        }
+        self.second = second;
+        Ok(())
+    }
+
+    /// Computes the resilience report and exports the `chaos.*` gauges.
+    #[must_use]
+    pub fn finish(&self) -> ResilienceReport {
+        let onset_s = self.onset.map(|t| t.as_secs_f64());
+        let last_repair_s = self.repair.map(|t| t.as_secs_f64());
         let time_to_detect_s = onset_s.and_then(|o| {
-            system
+            self.system
                 .supervisor()
                 .detections()
                 .iter()
                 .find(|d| d.fault && d.at_s >= o - 1e-9)
                 .map(|d| d.at_s - o)
         });
-        let time_to_recover_s = last_repair_s.and_then(|r| recovered_since.map(|since| since - r));
-        let violation_minutes = violation_secs.map(|s| s as f64 / 60.0);
+        let time_to_recover_s =
+            last_repair_s.and_then(|r| self.recovered_since.map(|since| since - r));
+        let violation_minutes = self.violation_secs.map(|s| s as f64 / 60.0);
         let subspaces_affected = violation_minutes
             .iter()
             .filter(|&&m| m > AFFECTED_THRESHOLD_MIN)
             .count();
         let (detections, recoveries) = {
-            let log = system.supervisor().detections();
+            let log = self.system.supervisor().detections();
             (
                 log.iter().filter(|d| d.fault).count(),
                 log.iter().filter(|d| !d.fault).count(),
@@ -335,11 +435,11 @@ impl ChaosScenario {
             time_to_recover_s,
             violation_minutes,
             subspaces_affected,
-            condensate_kg: system.plant().panel_condensate_total(),
+            condensate_kg: self.system.plant().panel_condensate_total(),
             detections,
             recoveries,
         };
-        report.export(&obs, self.duration.as_millis());
+        report.export(&self.obs, self.total_s * 1_000);
         report
     }
 }
@@ -779,6 +879,64 @@ mod tests {
         };
         assert_eq!(empty.onset(), None);
         assert_eq!(empty.repair_horizon(), None);
+    }
+
+    /// A chaos run checkpointed mid-fault and restored into a fresh
+    /// session must finish with a bit-identical report and metric
+    /// export — the accumulators (violation seconds, recovery hold)
+    /// ride along with the system state.
+    #[test]
+    fn chaos_run_round_trips_across_a_checkpoint() {
+        let mut scenario = ChaosScenario::bundled_basic();
+        scenario.duration = SimDuration::from_mins(60);
+
+        let obs_a = bz_obs::Handle::isolated();
+        obs_a.enable();
+        let mut original = scenario.begin_with_obs(obs_a.clone());
+        // Checkpoint 50 minutes in: past onset, mid-fault, accumulators
+        // non-trivial.
+        for _ in 0..50 {
+            original.step_minute();
+        }
+        let mut w = bz_state::Writer::new();
+        original.save_state(&mut w);
+        let bytes = w.into_bytes();
+
+        let obs_b = bz_obs::Handle::isolated();
+        obs_b.enable();
+        let mut restored = scenario.begin_with_obs(obs_b.clone());
+        restored
+            .load_state(&mut bz_state::Reader::new(&bytes))
+            .expect("load");
+        while !original.is_done() {
+            original.step_minute();
+            restored.step_minute();
+        }
+        assert_eq!(original.finish(), restored.finish());
+        let (mut ja, mut jb) = (Vec::new(), Vec::new());
+        obs_a.write_jsonl(&mut ja).unwrap();
+        obs_b.write_jsonl(&mut jb).unwrap();
+        assert_eq!(ja, jb, "metric exports must match");
+    }
+
+    #[test]
+    fn chaos_checkpoint_past_duration_is_rejected() {
+        let mut scenario = ChaosScenario::bundled_basic();
+        scenario.duration = SimDuration::from_mins(10);
+        let mut run = scenario.begin_with_obs(bz_obs::Handle::isolated());
+        for _ in 0..10 {
+            run.step_minute();
+        }
+        let mut w = bz_state::Writer::new();
+        run.save_state(&mut w);
+        let bytes = w.into_bytes();
+
+        scenario.duration = SimDuration::from_mins(5);
+        let mut short = scenario.begin_with_obs(bz_obs::Handle::isolated());
+        let err = short
+            .load_state(&mut bz_state::Reader::new(&bytes))
+            .unwrap_err();
+        assert!(err.to_string().contains("into a run of only"), "{err}");
     }
 
     #[test]

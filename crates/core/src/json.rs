@@ -8,7 +8,9 @@
 
 use std::fmt;
 
-/// A JSON parsing error with the byte offset where parsing failed.
+/// A JSON parsing error carrying the 1-based line and column where
+/// parsing failed, so a hand-edited scenario file can be fixed without
+/// counting bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JsonError(String);
 
@@ -48,7 +50,7 @@ impl Json {
     ///
     /// # Errors
     ///
-    /// Returns a [`JsonError`] naming the byte offset of the first
+    /// Returns a [`JsonError`] naming the line and column of the first
     /// malformed construct, or of trailing garbage after the document.
     pub fn parse(text: &str) -> Result<Self, JsonError> {
         let mut parser = JsonParser {
@@ -108,7 +110,12 @@ struct JsonParser<'a> {
 
 impl JsonParser<'_> {
     fn error(&self, message: &str) -> JsonError {
-        JsonError::new(format!("json error at byte {}: {message}", self.pos))
+        let consumed = &self.bytes[..self.pos.min(self.bytes.len())];
+        let line = 1 + consumed.iter().filter(|&&b| b == b'\n').count();
+        let column = 1 + consumed.iter().rev().take_while(|&&b| b != b'\n').count();
+        JsonError::new(format!(
+            "json error at line {line}, column {column}: {message}"
+        ))
     }
 
     fn peek(&self) -> Option<u8> {
@@ -303,5 +310,18 @@ mod tests {
         ] {
             assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn json_errors_carry_line_and_column() {
+        // The stray token sits on line 3, column 10.
+        let err = Json::parse("{\n  \"a\": 1,\n  \"b\": oops\n}").unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "json error at line 3, column 8: expected a value"
+        );
+
+        let err = Json::parse("[1, 2").unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
     }
 }

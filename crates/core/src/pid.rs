@@ -145,6 +145,26 @@ impl Pid {
     pub fn integral(&self) -> f64 {
         self.integral
     }
+
+    /// Serializes the controller state (integral, derivative memory). The
+    /// gains and the obs handle are rebuilt from config on restore.
+    pub fn save_state(&self, w: &mut bz_state::Writer) {
+        use bz_state::Persist;
+        w.put_f64(self.integral);
+        self.last_error.save(w);
+    }
+
+    /// Restores the state saved by [`Self::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a decode error if the bytes do not parse.
+    pub fn load_state(&mut self, r: &mut bz_state::Reader<'_>) -> Result<(), bz_state::StateError> {
+        use bz_state::Persist;
+        self.integral = r.take_f64()?;
+        self.last_error = Persist::load(r)?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -380,7 +380,53 @@ impl RadiantController {
     pub fn measured_mixed_temp(&self) -> Option<Celsius> {
         self.mixed_temp
     }
+
+    /// Serializes the controller's dynamic state: targets (they can change
+    /// mid-run), the PID, every latest-value cache, and the mix trim.
+    /// Tuning, the pump model, and the obs handle are rebuilt on restore.
+    pub fn save_state(&self, w: &mut bz_state::Writer) {
+        use bz_state::Persist;
+        self.targets.save(w);
+        self.pid.save_state(w);
+        self.ceiling.save(w);
+        self.room_temps.save(w);
+        self.supply_temp.save(w);
+        self.return_temp.save(w);
+        self.mixed_temp.save(w);
+        w.put_f64(self.mix_trim_k);
+    }
+
+    /// Restores the state saved by [`Self::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a decode error if the bytes do not parse.
+    pub fn load_state(&mut self, r: &mut bz_state::Reader<'_>) -> Result<(), bz_state::StateError> {
+        use bz_state::Persist;
+        self.targets = Persist::load(r)?;
+        self.pid.load_state(r)?;
+        self.ceiling = Persist::load(r)?;
+        self.room_temps = Persist::load(r)?;
+        self.supply_temp = Persist::load(r)?;
+        self.return_temp = Persist::load(r)?;
+        self.mixed_temp = Persist::load(r)?;
+        self.mix_trim_k = r.take_f64()?;
+        Ok(())
+    }
 }
+
+// --- Checkpoint support --------------------------------------------------
+
+bz_state::persist_struct!(CeilingReading {
+    temperature,
+    humidity,
+});
+bz_state::persist_struct!(RadiantDecision {
+    command,
+    ceiling_dew,
+    mix_target,
+    flow_target,
+});
 
 #[cfg(test)]
 mod tests {

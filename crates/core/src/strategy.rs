@@ -157,6 +157,25 @@ pub trait ControlStrategy: std::fmt::Debug + Send {
     fn set_targets(&mut self, targets: ComfortTargets) {
         self.reactive_mut().set_targets(targets);
     }
+
+    /// Serializes the strategy's dynamic state for a checkpoint. The
+    /// default covers the reactive stack; strategies carrying their own
+    /// estimators (MPC) must override and serialize those too, after
+    /// first delegating to the reactive stack.
+    fn save_state(&self, w: &mut bz_state::Writer) {
+        self.reactive().save_state(w);
+    }
+
+    /// Restores the state saved by [`ControlStrategy::save_state`]. The
+    /// restoring process must have installed the *same* strategy type —
+    /// checkpoint metadata guards this at a higher layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns a decode error if the bytes do not parse.
+    fn load_state(&mut self, r: &mut bz_state::Reader<'_>) -> Result<(), bz_state::StateError> {
+        self.reactive_mut().load_state(r)
+    }
 }
 
 /// The paper's reactive control layer: two radiant-loop controllers and
@@ -296,6 +315,31 @@ impl ReactiveStrategy {
         for controller in &mut self.ventilation {
             controller.set_targets(targets);
         }
+    }
+
+    /// Serializes every controller's dynamic state.
+    pub fn save_state(&self, w: &mut bz_state::Writer) {
+        for controller in &self.radiant {
+            controller.save_state(w);
+        }
+        for controller in &self.ventilation {
+            controller.save_state(w);
+        }
+    }
+
+    /// Restores the state saved by [`Self::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a decode error if the bytes do not parse.
+    pub fn load_state(&mut self, r: &mut bz_state::Reader<'_>) -> Result<(), bz_state::StateError> {
+        for controller in &mut self.radiant {
+            controller.load_state(r)?;
+        }
+        for controller in &mut self.ventilation {
+            controller.load_state(r)?;
+        }
+        Ok(())
     }
 }
 

@@ -508,7 +508,52 @@ impl SensorHealthSupervisor {
         self.trusted_ceiling_pairs(panel, now_s) < self.config.min_trusted_ceiling
             || self.pump_fault(panel)
     }
+
+    /// Serializes the supervisor's dynamic state: every channel's
+    /// validation memory, the pump watchdogs, and the detection log.
+    /// Tuning and the obs handle are rebuilt on restore.
+    pub fn save_state(&self, w: &mut bz_state::Writer) {
+        use bz_state::Persist;
+        self.channels.save(w);
+        self.pumps.save(w);
+        self.detections.save(w);
+    }
+
+    /// Restores the state saved by [`Self::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a decode error if the bytes do not parse.
+    pub fn load_state(&mut self, r: &mut bz_state::Reader<'_>) -> Result<(), bz_state::StateError> {
+        use bz_state::Persist;
+        self.channels = Persist::load(r)?;
+        self.pumps = Persist::load(r)?;
+        self.detections = Persist::load(r)?;
+        Ok(())
+    }
 }
+
+// --- Checkpoint support --------------------------------------------------
+
+bz_state::persist_struct!(Detection { at_s, fault, what });
+bz_state::persist_struct!(ChannelState {
+    last_accepted,
+    last_raw,
+    repeats,
+    repeat_since,
+    rejects_in_row,
+    stuck,
+    unhealthy,
+});
+bz_state::persist_struct!(PumpWatch {
+    sensed,
+    last_observed_s,
+    window_applied_m3,
+    window_sensed_m3,
+    deficit_windows,
+    fault,
+    next_probe_s,
+});
 
 #[cfg(test)]
 mod tests {
@@ -675,6 +720,39 @@ mod tests {
         // If it seizes again the watchdog latches again.
         feed(&mut s, probe_at + 1_000.0, 120, commanded, 1.0e-6);
         assert!(s.pump_fault(0));
+    }
+
+    #[test]
+    fn supervisor_state_round_trips() {
+        let mut s = supervisor();
+        for i in 0..40 {
+            let t = f64::from(i) * 3.0;
+            let _ = s.validate(t, DataType::Temperature, 7, 26.0);
+            let _ = s.validate(
+                t,
+                DataType::Humidity,
+                9,
+                if i % 2 == 0 { 55.0 } else { 300.0 },
+            );
+        }
+        let mut w = bz_state::Writer::new();
+        s.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut restored = supervisor();
+        restored
+            .load_state(&mut bz_state::Reader::new(&bytes))
+            .expect("saved supervisor decodes");
+        // The stuck-at detector must continue from the same repeat count:
+        // both accept/reject identically from here on.
+        for i in 40..80 {
+            let t = f64::from(i) * 3.0;
+            assert_eq!(
+                s.validate(t, DataType::Temperature, 7, 26.0),
+                restored.validate(t, DataType::Temperature, 7, 26.0),
+                "diverged at step {i}"
+            );
+        }
+        assert_eq!(s.detections(), restored.detections());
     }
 
     #[test]

@@ -1062,7 +1062,209 @@ impl BubbleZeroSystem {
             self.last_ventilation[s] = Some(decision);
         }
     }
+
+    // --- Checkpoint support ------------------------------------------------
+
+    /// Serializes the system's entire dynamic state: clock, plant,
+    /// network, control strategy, per-stream schedulers, energy ledgers,
+    /// event queue, caches, logs, supervisor, retrier, and the metric
+    /// registry. Everything derivable from [`SystemConfig`] — stream
+    /// wiring, node ids, metric keys, pump curves — is *not* written;
+    /// restore rebuilds it through the normal constructor.
+    pub fn save_state(&self, w: &mut bz_state::Writer) {
+        use bz_state::Persist;
+        self.config.targets.save(w);
+        self.now.save(w);
+        self.next_control.save(w);
+        self.plant.save_state(w);
+        self.network.save_state(w);
+        self.strategy.save_state(w);
+        w.put_len(self.bt_streams.len());
+        for stream in &self.bt_streams {
+            stream.scheduler.save_state(w);
+            stream.next_sample.save(w);
+        }
+        w.put_len(self.bt_ledgers.len());
+        for ledger in &self.bt_ledgers {
+            ledger.save_state(w);
+        }
+        w.put_len(self.ac_streams.len());
+        for stream in &self.ac_streams {
+            stream.scheduler.save_state(w);
+            stream.next_fire.save(w);
+        }
+        self.events.save_state(w);
+        self.commands.save(w);
+        self.last_radiant.save(w);
+        self.last_ventilation.save(w);
+        self.room_cache.save(w);
+        self.outlet_cache.save(w);
+        self.decision_log.save(w);
+        self.sniffer.save(w);
+        self.supervisor.save_state(w);
+        self.retrier.save_state(w);
+        self.obs.save_state(w);
+    }
+
+    /// Restores the state saved by [`Self::save_state`] into a system
+    /// freshly built from the *same* [`SystemConfig`] (and the same
+    /// strategy type). After a successful load the system continues
+    /// bit-identically to the run that produced the checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns a decode error if the bytes do not parse, or
+    /// [`bz_state::StateError::Invalid`] if the checkpoint's stream
+    /// inventory or scheduler kinds disagree with this system's
+    /// configuration — restoring into a differently configured system
+    /// would silently corrupt the run, so it is rejected up front.
+    pub fn load_state(&mut self, r: &mut bz_state::Reader<'_>) -> Result<(), bz_state::StateError> {
+        use bz_state::Persist;
+        self.config.targets = Persist::load(r)?;
+        self.strategy.set_targets(self.config.targets);
+        self.now = Persist::load(r)?;
+        self.next_control = Persist::load(r)?;
+        self.plant.load_state(r)?;
+        self.network.load_state(r)?;
+        self.strategy.load_state(r)?;
+        let n_bt = r.take_len()?;
+        if n_bt != self.bt_streams.len() {
+            return Err(bz_state::StateError::Invalid {
+                what: "BubbleZeroSystem",
+                reason: format!(
+                    "checkpoint has {n_bt} battery streams, this configuration has {}",
+                    self.bt_streams.len()
+                ),
+            });
+        }
+        for stream in &mut self.bt_streams {
+            stream.scheduler.load_state(r)?;
+            stream.next_sample = Persist::load(r)?;
+        }
+        let n_ledgers = r.take_len()?;
+        if n_ledgers != self.bt_ledgers.len() {
+            return Err(bz_state::StateError::Invalid {
+                what: "BubbleZeroSystem",
+                reason: format!(
+                    "checkpoint has {n_ledgers} battery ledgers, this configuration has {}",
+                    self.bt_ledgers.len()
+                ),
+            });
+        }
+        for ledger in &mut self.bt_ledgers {
+            ledger.load_state(r)?;
+        }
+        let n_ac = r.take_len()?;
+        if n_ac != self.ac_streams.len() {
+            return Err(bz_state::StateError::Invalid {
+                what: "BubbleZeroSystem",
+                reason: format!(
+                    "checkpoint has {n_ac} AC streams, this configuration has {}",
+                    self.ac_streams.len()
+                ),
+            });
+        }
+        for stream in &mut self.ac_streams {
+            stream.scheduler.load_state(r)?;
+            stream.next_fire = Persist::load(r)?;
+        }
+        self.events.load_state(r)?;
+        self.commands = Persist::load(r)?;
+        self.last_radiant = Persist::load(r)?;
+        self.last_ventilation = Persist::load(r)?;
+        self.room_cache = Persist::load(r)?;
+        self.outlet_cache = Persist::load(r)?;
+        self.decision_log = Persist::load(r)?;
+        self.sniffer = Persist::load(r)?;
+        self.supervisor.load_state(r)?;
+        self.retrier.load_state(r)?;
+        self.obs.load_state(r)?;
+        // Scratch buffers hold no cross-tick state; start them empty.
+        self.event_buf.clear();
+        self.delivery_buf.clear();
+        Ok(())
+    }
 }
+
+impl StreamScheduler {
+    /// Kind tag (0 = adaptive, 1 = fixed) followed by the scheduler state.
+    fn save_state(&self, w: &mut bz_state::Writer) {
+        use bz_state::Persist;
+        match self {
+            Self::Adaptive(a) => {
+                w.put_u8(0);
+                a.save_state(w);
+            }
+            Self::Fixed(f) => {
+                w.put_u8(1);
+                f.save(w);
+            }
+        }
+    }
+
+    /// Restores in place; the checkpoint's kind must match the live
+    /// variant (i.e. the restoring process must run the same `bt_mode`).
+    fn load_state(&mut self, r: &mut bz_state::Reader<'_>) -> Result<(), bz_state::StateError> {
+        use bz_state::Persist;
+        let tag = r.take_u8()?;
+        match (tag, self) {
+            (0, Self::Adaptive(a)) => a.load_state(r),
+            (1, Self::Fixed(f)) => {
+                *f = Persist::load(r)?;
+                Ok(())
+            }
+            (0 | 1, _) => Err(bz_state::StateError::Invalid {
+                what: "StreamScheduler",
+                reason: "scheduler kind in checkpoint does not match bt_mode".into(),
+            }),
+            (tag, _) => Err(bz_state::StateError::BadTag {
+                what: "StreamScheduler",
+                tag: u64::from(tag),
+            }),
+        }
+    }
+}
+
+impl bz_state::Persist for SystemEvent {
+    fn save(&self, w: &mut bz_state::Writer) {
+        match self {
+            Self::BtSample(i) => {
+                w.put_u8(0);
+                w.put_u64(*i as u64);
+            }
+            Self::AcFire(i) => {
+                w.put_u8(1);
+                w.put_u64(*i as u64);
+            }
+        }
+    }
+
+    fn load(r: &mut bz_state::Reader<'_>) -> Result<Self, bz_state::StateError> {
+        let tag = r.take_u8()?;
+        let index = usize::try_from(r.take_u64()?).map_err(|_| bz_state::StateError::Invalid {
+            what: "SystemEvent",
+            reason: "stream index exceeds usize".into(),
+        })?;
+        match tag {
+            0 => Ok(Self::BtSample(index)),
+            1 => Ok(Self::AcFire(index)),
+            tag => Err(bz_state::StateError::BadTag {
+                what: "SystemEvent",
+                tag: u64::from(tag),
+            }),
+        }
+    }
+}
+
+bz_state::persist_struct!(DecisionRecord {
+    at,
+    stream,
+    variance,
+    lambda,
+    classified,
+    send_period,
+    transmitted,
+});
 
 #[cfg(test)]
 mod tests {

@@ -43,6 +43,12 @@ impl ComfortTargets {
     }
 }
 
+bz_state::persist_struct!(ComfortTargets {
+    temperature,
+    humidity,
+    co2_limit,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

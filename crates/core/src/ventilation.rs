@@ -395,7 +395,50 @@ impl VentilationController {
             required_flow_m3s: required,
         }
     }
+
+    /// Serializes the controller's dynamic state: targets, the coil PID,
+    /// the latest-value caches, the fan memory, and the pull-down mode
+    /// latch. Tuning and the obs handle are rebuilt on restore.
+    pub fn save_state(&self, w: &mut bz_state::Writer) {
+        use bz_state::Persist;
+        self.targets.save(w);
+        self.coil_pid.save_state(w);
+        self.room.save(w);
+        self.co2.save(w);
+        self.outlet.save(w);
+        self.supply_temp.save(w);
+        self.last_fan.save(w);
+        w.put_bool(self.pulling_down);
+    }
+
+    /// Restores the state saved by [`Self::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a decode error if the bytes do not parse.
+    pub fn load_state(&mut self, r: &mut bz_state::Reader<'_>) -> Result<(), bz_state::StateError> {
+        use bz_state::Persist;
+        self.targets = Persist::load(r)?;
+        self.coil_pid.load_state(r)?;
+        self.room = Persist::load(r)?;
+        self.co2 = Persist::load(r)?;
+        self.outlet = Persist::load(r)?;
+        self.supply_temp = Persist::load(r)?;
+        self.last_fan = Persist::load(r)?;
+        self.pulling_down = r.take_bool()?;
+        Ok(())
+    }
 }
+
+// --- Checkpoint support --------------------------------------------------
+
+bz_state::persist_struct!(VentilationDecision {
+    actuation,
+    room_dew,
+    room_dew_target,
+    outlet_dew_target,
+    required_flow_m3s,
+});
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,148 @@
+//! Full-system checkpoint round-trip: a system restored from saved state
+//! must continue **bit-identically** to the uninterrupted run — plant
+//! physics, network randomness, adaptive schedulers, energy ledgers,
+//! supervisor verdicts, and the decision log all have to line up exactly,
+//! or resumed trials would diverge from their uninterrupted twins.
+
+use bz_core::system::{BtMode, BubbleZeroSystem, SystemConfig};
+use bz_thermal::disturbance::DisturbanceSchedule;
+use bz_thermal::plant::PlantConfig;
+use bz_thermal::zone::SubspaceId;
+
+fn config(bt_mode: BtMode) -> SystemConfig {
+    let mut config = SystemConfig::paper_deployment(
+        PlantConfig::bubble_zero_lab().with_disturbances(DisturbanceSchedule::figure10_afternoon()),
+    );
+    config.bt_mode = bt_mode;
+    config.record_decisions = true;
+    config.enable_sniffer = true;
+    config
+}
+
+/// Asserts that two systems are observationally identical, bit for bit.
+fn assert_identical(a: &BubbleZeroSystem, b: &BubbleZeroSystem) {
+    assert_eq!(a.now(), b.now());
+    for id in SubspaceId::ALL {
+        assert_eq!(a.plant().zone_state(id), b.plant().zone_state(id), "{id}");
+        assert_eq!(
+            a.plant().zone_dew_point(id).get().to_bits(),
+            b.plant().zone_dew_point(id).get().to_bits(),
+            "{id} dew"
+        );
+    }
+    assert_eq!(a.network().stats(), b.network().stats());
+    assert_eq!(a.commands(), b.commands());
+    assert_eq!(a.last_radiant_decisions(), b.last_radiant_decisions());
+    assert_eq!(
+        a.last_ventilation_decisions(),
+        b.last_ventilation_decisions()
+    );
+    assert_eq!(a.decision_log(), b.decision_log());
+    assert_eq!(a.bt_device_reports(), b.bt_device_reports());
+    assert_eq!(
+        a.supervisor().detections().len(),
+        b.supervisor().detections().len()
+    );
+    let (sa, sb) = (a.sniffer().unwrap(), b.sniffer().unwrap());
+    assert_eq!(sa.len(), sb.len());
+    for i in 0..a.bt_stream_count() {
+        assert_eq!(
+            a.bt_stream_send_period(i),
+            b.bt_stream_send_period(i),
+            "stream {i}"
+        );
+    }
+}
+
+fn round_trip(bt_mode: BtMode, warmup_s: u64, tail_s: u64) {
+    let mut original = BubbleZeroSystem::with_obs(config(bt_mode), bz_obs::Handle::isolated());
+    original.run_seconds(warmup_s);
+
+    let mut w = bz_state::Writer::new();
+    original.save_state(&mut w);
+    let bytes = w.into_bytes();
+
+    // Restore into a *fresh process stand-in*: a new system built from the
+    // same config, with its own isolated metric registry.
+    let mut restored = BubbleZeroSystem::with_obs(config(bt_mode), bz_obs::Handle::isolated());
+    restored
+        .load_state(&mut bz_state::Reader::new(&bytes))
+        .expect("load");
+    assert_identical(&original, &restored);
+
+    // Both runs must now evolve in lockstep, second by second.
+    for _ in 0..tail_s {
+        original.step_second();
+        restored.step_second();
+    }
+    assert_identical(&original, &restored);
+
+    // And the metric registries (the source of every export) must agree.
+    let (mut ja, mut jb) = (Vec::new(), Vec::new());
+    original.obs().write_jsonl(&mut ja).unwrap();
+    restored.obs().write_jsonl(&mut jb).unwrap();
+    assert_eq!(ja, jb, "metric exports must match after resume");
+}
+
+#[test]
+fn adaptive_system_round_trips_bit_identically() {
+    round_trip(BtMode::Adaptive, 180, 180);
+}
+
+#[test]
+fn fixed_system_round_trips_bit_identically() {
+    round_trip(BtMode::Fixed, 90, 90);
+}
+
+#[test]
+fn saved_state_is_deterministic() {
+    let mut a = BubbleZeroSystem::with_obs(config(BtMode::Adaptive), bz_obs::Handle::isolated());
+    let mut b = BubbleZeroSystem::with_obs(config(BtMode::Adaptive), bz_obs::Handle::isolated());
+    a.run_seconds(120);
+    b.run_seconds(120);
+    let (mut wa, mut wb) = (bz_state::Writer::new(), bz_state::Writer::new());
+    a.save_state(&mut wa);
+    b.save_state(&mut wb);
+    assert_eq!(
+        wa.into_bytes(),
+        wb.into_bytes(),
+        "same seed + same tick must serialize identically"
+    );
+}
+
+#[test]
+fn scheduler_kind_mismatch_is_rejected() {
+    let mut adaptive =
+        BubbleZeroSystem::with_obs(config(BtMode::Adaptive), bz_obs::Handle::isolated());
+    adaptive.run_seconds(30);
+    let mut w = bz_state::Writer::new();
+    adaptive.save_state(&mut w);
+    let bytes = w.into_bytes();
+
+    let mut fixed = BubbleZeroSystem::with_obs(config(BtMode::Fixed), bz_obs::Handle::isolated());
+    let err = fixed
+        .load_state(&mut bz_state::Reader::new(&bytes))
+        .expect_err("kind mismatch must be rejected");
+    assert!(
+        err.to_string().contains("bt_mode"),
+        "diagnostic should name the mismatch: {err}"
+    );
+}
+
+#[test]
+fn truncated_state_errors_cleanly() {
+    let mut system =
+        BubbleZeroSystem::with_obs(config(BtMode::Adaptive), bz_obs::Handle::isolated());
+    system.run_seconds(60);
+    let mut w = bz_state::Writer::new();
+    system.save_state(&mut w);
+    let bytes = w.into_bytes();
+
+    for cut in [0, 1, bytes.len() / 2, bytes.len() - 1] {
+        let mut victim =
+            BubbleZeroSystem::with_obs(config(BtMode::Adaptive), bz_obs::Handle::isolated());
+        victim
+            .load_state(&mut bz_state::Reader::new(&bytes[..cut]))
+            .expect_err("truncated state must error, not panic");
+    }
+}

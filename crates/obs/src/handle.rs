@@ -247,6 +247,28 @@ impl Handle {
     pub fn summary_table(&self) -> String {
         self.with_registry(|registry| registry.summary_table())
     }
+
+    /// Serializes the registry state for checkpointing (see
+    /// [`Registry::save_state`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registry is streaming; callers gate that combination
+    /// up front.
+    pub fn save_state(&self, w: &mut bz_state::Writer) {
+        self.with_registry(|registry| registry.save_state(w));
+    }
+
+    /// Replaces the registry contents with previously saved state (see
+    /// [`Registry::load_state`]). The enabled flag is untouched — it is
+    /// runtime configuration, not simulation state.
+    ///
+    /// # Errors
+    ///
+    /// Returns a decode error if the bytes do not parse.
+    pub fn load_state(&self, r: &mut bz_state::Reader<'_>) -> Result<(), bz_state::StateError> {
+        self.with_registry(|registry| registry.load_state(r))
+    }
 }
 
 impl Default for Handle {

@@ -125,6 +125,64 @@ impl FixedHistogram {
     }
 }
 
+use bz_state::Persist;
+
+impl Persist for FixedHistogram {
+    fn save(&self, w: &mut bz_state::Writer) {
+        w.put_len(self.edges.len());
+        for &edge in self.edges {
+            w.put_f64(edge);
+        }
+        self.counts.save(w);
+        w.put_u64(self.count);
+        w.put_f64(self.sum);
+        w.put_f64(self.min);
+        w.put_f64(self.max);
+    }
+
+    fn load(r: &mut bz_state::Reader<'_>) -> Result<Self, bz_state::StateError> {
+        let n = r.take_len()?;
+        let mut edges = Vec::with_capacity(n);
+        for _ in 0..n {
+            edges.push(r.take_f64()?);
+        }
+        // Edges are `&'static` by design. The only edge set production code
+        // creates is DEFAULT_BUCKETS, so restoring normally re-points at
+        // it; an unrecognized set (a custom test histogram) is leaked once,
+        // which is bounded by the number of distinct restored histograms.
+        let is_default = edges.len() == DEFAULT_BUCKETS.len()
+            && edges
+                .iter()
+                .zip(DEFAULT_BUCKETS)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+        let edges: &'static [f64] = if is_default {
+            DEFAULT_BUCKETS
+        } else {
+            Box::leak(edges.into_boxed_slice())
+        };
+        let counts = Vec::<u64>::load(r)?;
+        if counts.len() != edges.len() + 1 {
+            return Err(bz_state::StateError::Invalid {
+                what: "histogram counts",
+                reason: format!(
+                    "{} slot(s) for {} edge(s); expected {}",
+                    counts.len(),
+                    edges.len(),
+                    edges.len() + 1
+                ),
+            });
+        }
+        Ok(Self {
+            edges,
+            counts,
+            count: r.take_u64()?,
+            sum: r.take_f64()?,
+            min: r.take_f64()?,
+            max: r.take_f64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

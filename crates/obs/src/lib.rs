@@ -192,6 +192,26 @@ pub fn summary_table() -> String {
     Handle::global().summary_table()
 }
 
+/// Serializes the global registry state for checkpointing (see
+/// [`Handle::save_state`]).
+///
+/// # Panics
+///
+/// Panics if the global registry is streaming.
+pub fn save_state(w: &mut bz_state::Writer) {
+    Handle::global().save_state(w);
+}
+
+/// Replaces the global registry contents with previously saved state (see
+/// [`Handle::load_state`]).
+///
+/// # Errors
+///
+/// Returns a decode error if the bytes do not parse.
+pub fn load_state(r: &mut bz_state::Reader<'_>) -> Result<(), bz_state::StateError> {
+    Handle::global().load_state(r)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -4,6 +4,8 @@
 use std::collections::BTreeMap;
 use std::io::{self, Write};
 
+use bz_state::Persist as _;
+
 use crate::hist::FixedHistogram;
 use crate::key::MetricKey;
 
@@ -413,6 +415,134 @@ impl Registry {
     }
 }
 
+impl bz_state::Persist for Event {
+    fn save(&self, w: &mut bz_state::Writer) {
+        match self {
+            Event::Counter { name, t_ms, value } => {
+                w.put_u8(0);
+                name.save(w);
+                w.put_u64(*t_ms);
+                w.put_u64(*value);
+            }
+            Event::Gauge { name, t_ms, value } => {
+                w.put_u8(1);
+                name.save(w);
+                w.put_u64(*t_ms);
+                w.put_f64(*value);
+            }
+            Event::Span {
+                name,
+                t_ms,
+                sim_ms,
+                depth,
+            } => {
+                w.put_u8(2);
+                name.save(w);
+                w.put_u64(*t_ms);
+                w.put_u64(*sim_ms);
+                w.put_u32(*depth);
+            }
+        }
+    }
+
+    fn load(r: &mut bz_state::Reader<'_>) -> Result<Self, bz_state::StateError> {
+        match r.take_u8()? {
+            0 => Ok(Event::Counter {
+                name: MetricKey::load(r)?,
+                t_ms: r.take_u64()?,
+                value: r.take_u64()?,
+            }),
+            1 => Ok(Event::Gauge {
+                name: MetricKey::load(r)?,
+                t_ms: r.take_u64()?,
+                value: r.take_f64()?,
+            }),
+            2 => Ok(Event::Span {
+                name: MetricKey::load(r)?,
+                t_ms: r.take_u64()?,
+                sim_ms: r.take_u64()?,
+                depth: r.take_u32()?,
+            }),
+            tag => Err(bz_state::StateError::BadTag {
+                what: "obs::Event",
+                tag: u64::from(tag),
+            }),
+        }
+    }
+}
+
+/// Only the deterministic aggregates are checkpointed. Wall-clock
+/// timing is process-local diagnostics (it never reaches JSONL/CSV
+/// exports) and including it would make same-seed checkpoints
+/// byte-unequal; a restored process starts its wall totals at zero.
+impl bz_state::Persist for SpanStats {
+    fn save(&self, w: &mut bz_state::Writer) {
+        w.put_u64(self.count);
+        w.put_u64(self.sim_ms_total);
+    }
+
+    fn load(r: &mut bz_state::Reader<'_>) -> Result<Self, bz_state::StateError> {
+        Ok(Self {
+            count: r.take_u64()?,
+            sim_ms_total: r.take_u64()?,
+            wall_ns_total: 0,
+            wall_ns_max: 0,
+        })
+    }
+}
+
+impl Registry {
+    /// Serializes every metric, buffered event, and drop count. The open
+    /// stream (if any) is *not* part of the state — checkpointing a
+    /// streaming registry is rejected because the streamed bytes are
+    /// already on disk and replaying them after a resume would duplicate
+    /// lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registry is currently streaming (see
+    /// [`Registry::is_streaming`]); callers gate that combination up
+    /// front.
+    pub fn save_state(&self, w: &mut bz_state::Writer) {
+        assert!(
+            self.stream.is_none(),
+            "cannot checkpoint a streaming registry"
+        );
+        self.counters.save(w);
+        self.gauges.save(w);
+        self.histograms.save(w);
+        self.spans.save(w);
+        self.events.save(w);
+        w.put_u64(self.dropped_events);
+    }
+
+    /// Replaces this registry's contents with previously saved state. Any
+    /// open stream is dropped unfinished.
+    ///
+    /// # Errors
+    ///
+    /// Returns a decode error (and leaves the registry unchanged) if the
+    /// bytes do not parse.
+    pub fn load_state(&mut self, r: &mut bz_state::Reader<'_>) -> Result<(), bz_state::StateError> {
+        let counters = BTreeMap::load(r)?;
+        let gauges = BTreeMap::load(r)?;
+        let histograms = BTreeMap::load(r)?;
+        let spans = BTreeMap::load(r)?;
+        let events = Vec::load(r)?;
+        let dropped_events = r.take_u64()?;
+        *self = Self {
+            counters,
+            gauges,
+            histograms,
+            spans,
+            events,
+            dropped_events,
+            stream: None,
+        };
+        Ok(())
+    }
+}
+
 /// Serializes one event as its JSONL line (shared by the buffered
 /// exporter and the streaming path, so both emit identical bytes).
 fn write_event_line<W: Write>(out: &mut W, event: &Event) -> io::Result<()> {
@@ -652,6 +782,49 @@ mod tests {
         // And the registry is usable (buffered) again afterwards.
         registry.gauge_set("g", 2, 3.0);
         assert_eq!(registry.snapshot().events.len(), 1);
+    }
+
+    #[test]
+    fn saved_state_restores_to_byte_identical_exports() {
+        let mut original = Registry::new();
+        record_sample(&mut original);
+        original.observe("custom.buckets", &[1.0, 2.0], 1.5);
+        original.dropped_events = 3;
+
+        let mut w = bz_state::Writer::new();
+        original.save_state(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut restored = Registry::new();
+        restored.gauge_set("stale", 1, 9.9); // must be wiped by the load
+        restored
+            .load_state(&mut bz_state::Reader::new(&bytes))
+            .unwrap();
+
+        let export = |registry: &Registry| {
+            let mut out = Vec::new();
+            registry.write_jsonl(&mut out).unwrap();
+            out
+        };
+        assert_eq!(export(&restored), export(&original));
+        let mut csv_original = Vec::new();
+        original.write_csv(&mut csv_original).unwrap();
+        let mut csv_restored = Vec::new();
+        restored.write_csv(&mut csv_restored).unwrap();
+        assert_eq!(csv_restored, csv_original);
+        assert_eq!(
+            restored.histograms["wsn.btadpt.send_period_s"].edges(),
+            DEFAULT_BUCKETS
+        );
+        assert_eq!(restored.histograms["custom.buckets"].edges(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "streaming")]
+    fn checkpointing_a_streaming_registry_is_rejected() {
+        let mut registry = Registry::new();
+        registry.stream_to(Box::new(Vec::new()));
+        registry.save_state(&mut bz_state::Writer::new());
     }
 
     #[test]

@@ -239,66 +239,157 @@ pub struct StrategyRun {
 /// handle. `mpc` is `None` for the reactive baseline.
 #[must_use]
 pub fn run_strategy(scenario: &MpcScenario, mpc: Option<MpcConfig>) -> StrategyRun {
+    let mut session = begin_strategy(scenario, mpc);
+    while !session.is_done() {
+        session.step_minute();
+    }
+    session.finish()
+}
+
+/// Starts `scenario` under one strategy as a resumable session: step it
+/// a minute at a time, checkpoint it with [`StrategySession::save_state`],
+/// restore it in a fresh process with [`StrategySession::load_state`].
+/// [`run_strategy`] is a thin loop over this.
+#[must_use]
+pub fn begin_strategy(scenario: &MpcScenario, mpc: Option<MpcConfig>) -> StrategySession {
     let obs = bz_obs::Handle::isolated();
     let config = scenario.system_config();
     let schedule = config.plant.occupancy.clone();
     let targets = config.targets;
     let strategy_obs = obs.clone();
     let strategy_config = config.clone();
-    let mut system =
-        BubbleZeroSystem::with_strategy(config, obs.clone(), move |reactive| match mpc {
-            Some(mpc) => Box::new(MpcStrategy::new(
-                reactive,
-                mpc,
-                &strategy_config,
-                strategy_obs,
-            )),
-            None => Box::new(reactive),
-        });
+    let system = BubbleZeroSystem::with_strategy(config, obs.clone(), move |reactive| match mpc {
+        Some(mpc) => Box::new(MpcStrategy::new(
+            reactive,
+            mpc,
+            &strategy_config,
+            strategy_obs,
+        )),
+        None => Box::new(reactive),
+    });
+    StrategySession {
+        obs,
+        system,
+        schedule,
+        targets,
+        total_s: scenario.duration.as_millis() / 1_000,
+        second: 0,
+        violation_secs: 0,
+    }
+}
 
-    let total_s = scenario.duration.as_millis() / 1_000;
-    let mut violation_secs = 0u64;
-    for second in 1..=total_s {
-        system.step_second();
-        let now = system.now();
-        {
-            let plant = system.plant();
-            for id in SubspaceId::ALL {
-                if schedule.headcount(id, now) == 0 {
-                    continue;
-                }
-                let deviation =
-                    (plant.zone_temperature(id).get() - targets.temperature.get()).abs();
-                if deviation > COMFORT_TOLERANCE_K {
-                    violation_secs += 1;
+/// An in-flight single-strategy run: the closed-loop system plus the
+/// occupied comfort-violation accumulator. Both are covered by
+/// [`StrategySession::save_state`], so a restored session's final
+/// [`StrategyRun`] (including the JSONL export bytes) is identical to
+/// an uninterrupted run's.
+pub struct StrategySession {
+    obs: bz_obs::Handle,
+    system: BubbleZeroSystem,
+    schedule: OccupancySchedule,
+    targets: bz_core::targets::ComfortTargets,
+    total_s: u64,
+    second: u64,
+    violation_secs: u64,
+}
+
+impl StrategySession {
+    /// Simulated milliseconds completed so far.
+    #[must_use]
+    pub fn now_ms(&self) -> u64 {
+        self.second * 1_000
+    }
+
+    /// True once the scenario duration has fully run.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.second >= self.total_s
+    }
+
+    /// Advances up to one minute (less at the end of the run).
+    pub fn step_minute(&mut self) {
+        let batch_end = (self.second + 60).min(self.total_s);
+        while self.second < batch_end {
+            self.second += 1;
+            self.system.step_second();
+            let now = self.system.now();
+            {
+                let plant = self.system.plant();
+                for id in SubspaceId::ALL {
+                    if self.schedule.headcount(id, now) == 0 {
+                        continue;
+                    }
+                    let deviation =
+                        (plant.zone_temperature(id).get() - self.targets.temperature.get()).abs();
+                    if deviation > COMFORT_TOLERANCE_K {
+                        self.violation_secs += 1;
+                    }
                 }
             }
-        }
-        if second % 60 == 0 {
-            obs.record_counters(now.as_millis());
+            if self.second.is_multiple_of(60) {
+                self.obs.record_counters(now.as_millis());
+            }
         }
     }
 
-    let meters = *system.plant().meters();
-    let energy_j = meters.radiant_chiller.get()
-        + meters.vent_chiller.get()
-        + meters.pumps.get()
-        + meters.fans.get();
-    let mut export = Vec::new();
-    obs.write_jsonl(&mut export)
-        .expect("writing to a Vec cannot fail");
-    let flame = bz_obs::collapsed_stacks(&obs.snapshot());
-    StrategyRun {
-        strategy: system.strategy_name().to_string(),
-        energy_kj: energy_j / 1_000.0,
-        radiant_chiller_kj: meters.radiant_chiller.get() / 1_000.0,
-        vent_chiller_kj: meters.vent_chiller.get() / 1_000.0,
-        pumps_kj: meters.pumps.get() / 1_000.0,
-        fans_kj: meters.fans.get() / 1_000.0,
-        comfort_violation_min: violation_secs as f64 / 60.0,
-        condensate_kg: system.plant().panel_condensate_total(),
-        export,
-        flame,
+    /// Serializes the dynamic session state: the full system (which
+    /// carries the MPC layer through the strategy seam) plus the
+    /// violation accumulator.
+    pub fn save_state(&self, w: &mut bz_state::Writer) {
+        self.system.save_state(w);
+        w.put_u64(self.violation_secs);
+        w.put_u64(self.second);
+    }
+
+    /// Restores state written by [`StrategySession::save_state`] into a
+    /// session freshly built from the *same* scenario and strategy.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`bz_state::StateError`] for truncated or corrupt
+    /// payloads, or a checkpoint taken past this session's duration.
+    pub fn load_state(&mut self, r: &mut bz_state::Reader<'_>) -> Result<(), bz_state::StateError> {
+        self.system.load_state(r)?;
+        self.violation_secs = r.take_u64()?;
+        let second = r.take_u64()?;
+        if second > self.total_s {
+            return Err(bz_state::StateError::Invalid {
+                what: "StrategySession",
+                reason: format!(
+                    "checkpoint is {second}s into a run of only {}s",
+                    self.total_s
+                ),
+            });
+        }
+        self.second = second;
+        Ok(())
+    }
+
+    /// Computes the run outcome and the deterministic metric export.
+    #[must_use]
+    pub fn finish(&self) -> StrategyRun {
+        let meters = *self.system.plant().meters();
+        let energy_j = meters.radiant_chiller.get()
+            + meters.vent_chiller.get()
+            + meters.pumps.get()
+            + meters.fans.get();
+        let mut export = Vec::new();
+        self.obs
+            .write_jsonl(&mut export)
+            .expect("writing to a Vec cannot fail");
+        let flame = bz_obs::collapsed_stacks(&self.obs.snapshot());
+        StrategyRun {
+            strategy: self.system.strategy_name().to_string(),
+            energy_kj: energy_j / 1_000.0,
+            radiant_chiller_kj: meters.radiant_chiller.get() / 1_000.0,
+            vent_chiller_kj: meters.vent_chiller.get() / 1_000.0,
+            pumps_kj: meters.pumps.get() / 1_000.0,
+            fans_kj: meters.fans.get() / 1_000.0,
+            comfort_violation_min: self.violation_secs as f64 / 60.0,
+            condensate_kg: self.system.plant().panel_condensate_total(),
+            export,
+            flame,
+        }
     }
 }
 

@@ -157,7 +157,33 @@ impl OccupancyForecaster {
     pub fn config(&self) -> &ForecastConfig {
         &self.config
     }
+
+    /// Serializes the learned profiles. The configuration is rebuilt on
+    /// restore; a checkpoint only holds what observation taught us.
+    pub fn save_state(&self, w: &mut bz_state::Writer) {
+        use bz_state::Persist;
+        self.profiles.save(w);
+    }
+
+    /// Restores the profiles saved by [`Self::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a decode error if the bytes do not parse.
+    pub fn load_state(&mut self, r: &mut bz_state::Reader<'_>) -> Result<(), bz_state::StateError> {
+        use bz_state::Persist;
+        self.profiles = Persist::load(r)?;
+        Ok(())
+    }
 }
+
+bz_state::persist_struct!(Profile {
+    bins,
+    current_bin,
+    sum,
+    count,
+    last_seen,
+});
 
 #[cfg(test)]
 mod tests {

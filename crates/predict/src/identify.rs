@@ -123,6 +123,16 @@ fn dot(a: &[f64; DIM], b: &[f64; DIM]) -> f64 {
     a.iter().zip(b).map(|(x, y)| x * y).sum()
 }
 
+// The full estimator is persisted — θ, the covariance, and the sample
+// count are all needed for the RLS recursion to continue bit-identically
+// after a restore.
+bz_state::persist_struct!(ZoneIdentifier {
+    theta,
+    p,
+    forgetting,
+    samples,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -291,6 +291,13 @@ pub fn project_dew_safe(
     zeroed
 }
 
+bz_state::persist_struct!(Plan {
+    start_s,
+    step_s,
+    radiant_scale,
+    fan_cap,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -506,7 +506,48 @@ impl ControlStrategy for MpcStrategy {
         self.targets = targets;
         self.inner.set_targets(targets);
     }
+
+    // The strategy seam's checkpoint contract: delegate to the reactive
+    // stack first, then append the MPC layer's own estimators and plan.
+    fn save_state(&self, w: &mut bz_state::Writer) {
+        use bz_state::Persist;
+        self.inner.save_state(w);
+        self.targets.save(w);
+        self.forecaster.save_state(w);
+        self.identifiers.save(w);
+        self.plan.save(w);
+        w.put_f64(self.next_replan_s);
+        self.sensed_room.save(w);
+        self.sensed_co2.save(w);
+        self.prev_sample.save(w);
+        self.applied.save(w);
+        self.cycle_scale.save(w);
+        self.cycle_fan.save(w);
+    }
+
+    fn load_state(&mut self, r: &mut bz_state::Reader<'_>) -> Result<(), bz_state::StateError> {
+        use bz_state::Persist;
+        self.inner.load_state(r)?;
+        self.targets = Persist::load(r)?;
+        self.forecaster.load_state(r)?;
+        self.identifiers = Persist::load(r)?;
+        self.plan = Persist::load(r)?;
+        self.next_replan_s = r.take_f64()?;
+        self.sensed_room = Persist::load(r)?;
+        self.sensed_co2 = Persist::load(r)?;
+        self.prev_sample = Persist::load(r)?;
+        self.applied = Persist::load(r)?;
+        self.cycle_scale = Persist::load(r)?;
+        self.cycle_fan = Persist::load(r)?;
+        Ok(())
+    }
 }
+
+bz_state::persist_struct!(AppliedControls {
+    radiant_scale,
+    fan_flow_m3s,
+    occupants,
+});
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,92 @@
+//! MPC checkpoint round-trip: the strategy seam's save/load override must
+//! carry the forecaster profiles, RLS estimators, and active plan across
+//! a restore, so a resumed predictive run stays bit-identical to its
+//! uninterrupted twin.
+
+use bz_core::system::BubbleZeroSystem;
+use bz_predict::compare::MpcScenario;
+use bz_predict::strategy::{MpcConfig, MpcStrategy};
+use bz_thermal::zone::SubspaceId;
+
+fn mpc_system(mpc: MpcConfig) -> BubbleZeroSystem {
+    let obs = bz_obs::Handle::isolated();
+    let config = MpcScenario::bundled_office().system_config();
+    let strategy_obs = obs.clone();
+    let strategy_config = config.clone();
+    BubbleZeroSystem::with_strategy(config, obs, move |reactive| {
+        Box::new(MpcStrategy::new(
+            reactive,
+            mpc,
+            &strategy_config,
+            strategy_obs,
+        ))
+    })
+}
+
+fn assert_identical(a: &BubbleZeroSystem, b: &BubbleZeroSystem) {
+    for id in SubspaceId::ALL {
+        assert_eq!(a.plant().zone_state(id), b.plant().zone_state(id), "{id}");
+    }
+    assert_eq!(a.network().stats(), b.network().stats());
+    assert_eq!(a.commands(), b.commands());
+    assert_eq!(a.last_radiant_decisions(), b.last_radiant_decisions());
+    assert_eq!(
+        a.last_ventilation_decisions(),
+        b.last_ventilation_decisions()
+    );
+    let (mut ja, mut jb) = (Vec::new(), Vec::new());
+    a.obs().write_jsonl(&mut ja).unwrap();
+    b.obs().write_jsonl(&mut jb).unwrap();
+    assert_eq!(ja, jb, "metric exports must match");
+}
+
+/// The decisive window crosses a replan boundary *after* the forecaster
+/// has turned confident, so the restored strategy must resume with the
+/// learned profiles, the identified θ, and the plan already in force.
+#[test]
+fn mpc_system_round_trips_bit_identically() {
+    // One full occupancy period (5 400 s) makes the forecaster confident;
+    // checkpoint shortly after, while plans are actively reshaping
+    // commands, then compare 10 more minutes of closed-loop operation.
+    let mut original = mpc_system(MpcConfig::office());
+    original.run_seconds(5_700);
+    assert_eq!(original.strategy_name(), "mpc");
+
+    let mut w = bz_state::Writer::new();
+    original.save_state(&mut w);
+    let bytes = w.into_bytes();
+
+    let mut restored = mpc_system(MpcConfig::office());
+    restored
+        .load_state(&mut bz_state::Reader::new(&bytes))
+        .expect("load");
+    assert_identical(&original, &restored);
+
+    for _ in 0..600 {
+        original.step_second();
+        restored.step_second();
+    }
+    assert_identical(&original, &restored);
+}
+
+/// A horizon-0 (inert) MPC checkpoint also round-trips — the layer's
+/// estimators are empty but still serialized, so the format does not
+/// depend on whether the layer ever activated.
+#[test]
+fn disabled_mpc_round_trips() {
+    let mut original = mpc_system(MpcConfig::disabled());
+    original.run_seconds(120);
+    let mut w = bz_state::Writer::new();
+    original.save_state(&mut w);
+    let bytes = w.into_bytes();
+
+    let mut restored = mpc_system(MpcConfig::disabled());
+    restored
+        .load_state(&mut bz_state::Reader::new(&bytes))
+        .expect("load");
+    for _ in 0..120 {
+        original.step_second();
+        restored.step_second();
+    }
+    assert_identical(&original, &restored);
+}

@@ -91,6 +91,16 @@ macro_rules! scalar_unit {
                 $name(self.0 / rhs)
             }
         }
+
+        impl bz_state::Persist for $name {
+            fn save(&self, w: &mut bz_state::Writer) {
+                w.put_f64(self.0);
+            }
+
+            fn load(r: &mut bz_state::Reader<'_>) -> Result<Self, bz_state::StateError> {
+                Ok(Self(r.take_f64()?))
+            }
+        }
     };
 }
 

@@ -7,6 +7,8 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use bz_state::Persist;
+
 use crate::time::SimTime;
 
 /// An entry in the queue; ordered by time, then by insertion sequence.
@@ -162,6 +164,50 @@ impl<E> EventQueue<E> {
 impl<E> Default for EventQueue<E> {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+impl<E: bz_state::Persist> EventQueue<E> {
+    /// Serializes the queue contents — every pending `(at, seq, event)`
+    /// triple plus the sequence allocator — in `(at, seq)` order, so the
+    /// bytes are independent of the heap's internal layout.
+    pub fn save_state(&self, w: &mut bz_state::Writer) {
+        w.put_u64(self.next_seq);
+        let mut entries: Vec<&Entry<E>> = self.heap.iter().collect();
+        entries.sort_by_key(|entry| (entry.at, entry.seq));
+        w.put_len(entries.len());
+        for entry in entries {
+            entry.at.save(w);
+            w.put_u64(entry.seq);
+            entry.event.save(w);
+        }
+    }
+
+    /// Replaces the queue contents with previously saved state. The obs
+    /// handle is untouched — it is wiring, not state.
+    ///
+    /// # Errors
+    ///
+    /// Returns a decode error if the bytes do not parse.
+    pub fn load_state(&mut self, r: &mut bz_state::Reader<'_>) -> Result<(), bz_state::StateError> {
+        let next_seq = r.take_u64()?;
+        let n = r.take_len()?;
+        let mut heap = BinaryHeap::with_capacity(n);
+        for _ in 0..n {
+            let at = SimTime::load(r)?;
+            let seq = r.take_u64()?;
+            if seq >= next_seq {
+                return Err(bz_state::StateError::Invalid {
+                    what: "EventQueue entry",
+                    reason: format!("seq {seq} >= next_seq {next_seq}"),
+                });
+            }
+            let event = E::load(r)?;
+            heap.push(Entry { at, seq, event });
+        }
+        self.heap = heap;
+        self.next_seq = next_seq;
+        Ok(())
     }
 }
 

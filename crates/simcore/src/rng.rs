@@ -154,6 +154,27 @@ impl Rng {
     }
 }
 
+impl bz_state::Persist for Rng {
+    fn save(&self, w: &mut bz_state::Writer) {
+        self.state.save(w);
+    }
+
+    fn load(r: &mut bz_state::Reader<'_>) -> Result<Self, bz_state::StateError> {
+        let state = <[u64; 4]>::load(r)?;
+        if state == [0; 4] {
+            // The all-zero state is xoshiro's one fixed point: every draw
+            // would return the same value forever. No reachable stream
+            // position encodes to it, so reject rather than restore a
+            // degenerate generator.
+            return Err(bz_state::StateError::Invalid {
+                what: "Rng",
+                reason: "all-zero xoshiro state".to_owned(),
+            });
+        }
+        Ok(Self { state })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -278,6 +278,16 @@ impl Cdf {
     }
 }
 
+bz_state::persist_struct!(SlidingWindow {
+    capacity,
+    samples,
+    sum,
+    sum_sq,
+    pushes_since_rebuild,
+});
+
+bz_state::persist_struct!(Welford { count, mean, m2 });
+
 /// Mean of a slice; `None` when empty. Convenience for sensor fusion code
 /// ("T_room is computed by averaging temperature readings from a set of
 /// sensors" — §III-B).

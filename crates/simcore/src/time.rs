@@ -227,6 +227,26 @@ impl Rem for SimDuration {
     }
 }
 
+impl bz_state::Persist for SimTime {
+    fn save(&self, w: &mut bz_state::Writer) {
+        w.put_u64(self.0);
+    }
+
+    fn load(r: &mut bz_state::Reader<'_>) -> Result<Self, bz_state::StateError> {
+        Ok(Self(r.take_u64()?))
+    }
+}
+
+impl bz_state::Persist for SimDuration {
+    fn save(&self, w: &mut bz_state::Writer) {
+        w.put_u64(self.0);
+    }
+
+    fn load(r: &mut bz_state::Reader<'_>) -> Result<Self, bz_state::StateError> {
+        Ok(Self(r.take_u64()?))
+    }
+}
+
 impl fmt::Display for SimTime {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "t+{:.3}s", self.as_secs_f64())

@@ -273,6 +273,21 @@ impl TraceRecorder {
     }
 }
 
+bz_state::persist_struct!(Sample { at, value });
+bz_state::persist_struct!(Series { samples });
+
+impl bz_state::Persist for TraceRecorder {
+    fn save(&self, w: &mut bz_state::Writer) {
+        self.series.save(w);
+    }
+
+    fn load(r: &mut bz_state::Reader<'_>) -> Result<Self, bz_state::StateError> {
+        Ok(Self {
+            series: bz_state::Persist::load(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -268,6 +268,26 @@ impl Airbox {
     }
 }
 
+// --- Checkpoint support --------------------------------------------------
+
+bz_state::persist_unit_enum!(FanLevel {
+    Off,
+    L1,
+    L2,
+    L3,
+    L4
+});
+bz_state::persist_struct!(AirboxParams {
+    coil_ua,
+    design_water_flow_m3s,
+    apparatus_approach_k,
+    closed_flap_leakage,
+});
+bz_state::persist_struct!(Airbox {
+    params,
+    total_condensate_kg,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

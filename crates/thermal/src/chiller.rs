@@ -171,6 +171,31 @@ impl TankChiller {
         self.electrical_energy = Joules::new(0.0);
         self.thermal_energy = Joules::new(0.0);
     }
+
+    /// Serializes the dynamic state (meters and last-step powers). The
+    /// configuration and the Carnot machine are rebuilt from config on
+    /// restore, not persisted.
+    pub fn save_state(&self, w: &mut bz_state::Writer) {
+        use bz_state::Persist;
+        self.electrical_energy.save(w);
+        self.thermal_energy.save(w);
+        self.last_electrical_power.save(w);
+        self.last_thermal_power.save(w);
+    }
+
+    /// Restores the dynamic state saved by [`Self::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a decode error if the bytes do not parse.
+    pub fn load_state(&mut self, r: &mut bz_state::Reader<'_>) -> Result<(), bz_state::StateError> {
+        use bz_state::Persist;
+        self.electrical_energy = Persist::load(r)?;
+        self.thermal_energy = Persist::load(r)?;
+        self.last_electrical_power = Persist::load(r)?;
+        self.last_thermal_power = Persist::load(r)?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -195,6 +195,15 @@ pub fn mix_supply_and_recycle(
     })
 }
 
+// --- Checkpoint support --------------------------------------------------
+//
+// Pumps are pure functions of their configuration and carry no state.
+
+bz_state::persist_struct!(Tank {
+    volume_m3,
+    temperature,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -184,6 +184,21 @@ impl RadiantPanel {
     }
 }
 
+// --- Checkpoint support --------------------------------------------------
+
+bz_state::persist_struct!(PanelParams {
+    area_m2,
+    surface_coefficient,
+    water_ua,
+    design_flow_m3s,
+    capacitance_j_k,
+});
+bz_state::persist_struct!(RadiantPanel {
+    params,
+    surface_temp,
+    total_condensate_kg,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

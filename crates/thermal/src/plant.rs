@@ -934,6 +934,120 @@ impl ThermalPlant {
     }
 }
 
+// --- Checkpoint support --------------------------------------------------
+//
+// Restore contract: rebuild the plant with `ThermalPlant::new(config)`
+// (same config as the checkpointed run), then `load_state` to overwrite
+// every dynamic field. The config, the pump curves, and the obs handle are
+// wiring, not state, and are never serialized.
+
+bz_state::persist_struct!(RadiantLoopCommand {
+    supply_voltage,
+    recycle_voltage,
+});
+bz_state::persist_struct!(AirboxActuation {
+    coil_pump_voltage,
+    fan,
+    flap_open,
+});
+bz_state::persist_struct!(ActuatorCommands { radiant, airboxes });
+bz_state::persist_struct!(StepTelemetry {
+    radiant_heat_removed_w,
+    vent_heat_removed_w,
+    radiant_chiller_w,
+    vent_chiller_w,
+    pump_power_w,
+    fan_power_w,
+    panel_condensate_kg,
+    airbox_condensate_kg,
+});
+bz_state::persist_struct!(EnergyMeters {
+    radiant_removed,
+    vent_removed,
+    radiant_chiller,
+    vent_chiller,
+    pumps,
+    fans,
+    elapsed,
+});
+bz_state::persist_struct!(LoopState {
+    return_temp,
+    mixed_temp,
+    mixed_flow_m3s,
+    supply_flow_m3s,
+    recycle_flow_m3s,
+});
+bz_state::persist_struct!(Instruments {
+    room,
+    ceiling,
+    pipe_mix,
+    pipe_return,
+    tank_supply,
+    vent_supply,
+    flow,
+    outlet,
+    coil_flow,
+    co2,
+});
+
+impl ThermalPlant {
+    /// Serializes every dynamic field of the plant — air states, water
+    /// temperatures, panel surfaces, meters, every sensor's noise-stream
+    /// position, and the stuck-at fault latches.
+    pub fn save_state(&self, w: &mut bz_state::Writer) {
+        use bz_state::Persist;
+        self.now.save(w);
+        self.weather.save_state(w);
+        self.outdoor.save(w);
+        self.zones.save(w);
+        self.panels.save(w);
+        self.loops.save(w);
+        self.radiant_tank.save(w);
+        self.vent_tank.save(w);
+        self.radiant_chiller.save_state(w);
+        self.vent_chiller.save_state(w);
+        self.airboxes.save(w);
+        self.outlet_states.save(w);
+        self.coil_flows.save(w);
+        self.instruments.save(w);
+        self.telemetry.save(w);
+        self.meters.save(w);
+        self.last_zone_inputs.save(w);
+        self.sensor_fault_rng.save(w);
+        self.stuck_latch.save(w);
+    }
+
+    /// Restores the dynamic state saved by [`Self::save_state`] into a
+    /// plant freshly built from the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a decode error if the bytes do not parse.
+    pub fn load_state(&mut self, r: &mut bz_state::Reader<'_>) -> Result<(), bz_state::StateError> {
+        use bz_state::Persist;
+        self.now = Persist::load(r)?;
+        self.weather.load_state(r)?;
+        self.outdoor = Persist::load(r)?;
+        self.zones = Persist::load(r)?;
+        self.panels = Persist::load(r)?;
+        self.loops = Persist::load(r)?;
+        self.radiant_tank = Persist::load(r)?;
+        self.vent_tank = Persist::load(r)?;
+        self.radiant_chiller.load_state(r)?;
+        self.vent_chiller.load_state(r)?;
+        self.airboxes = Persist::load(r)?;
+        self.outlet_states = Persist::load(r)?;
+        self.coil_flows = Persist::load(r)?;
+        self.instruments = Persist::load(r)?;
+        self.telemetry = Persist::load(r)?;
+        self.meters = Persist::load(r)?;
+        self.last_zone_inputs = Persist::load(r)?;
+        self.sensor_fault_rng = Persist::load(r)?;
+        self.stuck_latch = Persist::load(r)?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

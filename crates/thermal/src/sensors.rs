@@ -344,6 +344,71 @@ impl SensorFaultSchedule {
     }
 }
 
+// --- Checkpoint support --------------------------------------------------
+//
+// Sensors are pure data (calibration constants plus a private noise RNG),
+// so full-value persistence restores both the calibration and the exact
+// noise-stream position.
+
+bz_state::persist_struct!(TemperatureSensor {
+    bias,
+    noise_sd,
+    rng
+});
+bz_state::persist_struct!(HumiditySensor {
+    rh_bias,
+    temp_bias,
+    rng
+});
+bz_state::persist_struct!(Co2Sensor { bias, rng });
+bz_state::persist_struct!(FlowSensor {
+    pulses_per_liter,
+    gate_s,
+    gain,
+    rng,
+});
+
+impl bz_state::Persist for SensorTarget {
+    fn save(&self, w: &mut bz_state::Writer) {
+        match *self {
+            Self::Ceiling(k) => {
+                w.put_u8(0);
+                w.put_u64(k as u64);
+            }
+            Self::Room(s) => {
+                w.put_u8(1);
+                w.put_u64(s as u64);
+            }
+            Self::Co2(s) => {
+                w.put_u8(2);
+                w.put_u64(s as u64);
+            }
+            Self::Outlet(a) => {
+                w.put_u8(3);
+                w.put_u64(a as u64);
+            }
+        }
+    }
+
+    fn load(r: &mut bz_state::Reader<'_>) -> Result<Self, bz_state::StateError> {
+        let tag = r.take_u8()?;
+        let index = usize::try_from(r.take_u64()?).map_err(|_| bz_state::StateError::Invalid {
+            what: "SensorTarget",
+            reason: "index exceeds usize".to_owned(),
+        })?;
+        match tag {
+            0 => Ok(Self::Ceiling(index)),
+            1 => Ok(Self::Room(index)),
+            2 => Ok(Self::Co2(index)),
+            3 => Ok(Self::Outlet(index)),
+            other => Err(bz_state::StateError::BadTag {
+                what: "SensorTarget",
+                tag: u64::from(other),
+            }),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -126,6 +126,28 @@ impl Weather {
     pub fn config(&self) -> &WeatherConfig {
         &self.config
     }
+
+    /// Serializes the stochastic state (random stream, wander, clock).
+    /// The configuration is rebuilt from config on restore, not persisted.
+    pub fn save_state(&self, w: &mut bz_state::Writer) {
+        use bz_state::Persist;
+        self.rng.save(w);
+        w.put_f64(self.wander);
+        self.last_update.save(w);
+    }
+
+    /// Restores the stochastic state saved by [`Self::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a decode error if the bytes do not parse.
+    pub fn load_state(&mut self, r: &mut bz_state::Reader<'_>) -> Result<(), bz_state::StateError> {
+        use bz_state::Persist;
+        self.rng = Persist::load(r)?;
+        self.wander = r.take_f64()?;
+        self.last_update = Persist::load(r)?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

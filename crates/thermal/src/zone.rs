@@ -374,6 +374,35 @@ impl Zone {
     }
 }
 
+// --- Checkpoint support --------------------------------------------------
+
+bz_state::persist_unit_enum!(SubspaceId { S1, S2, S3, S4 });
+bz_state::persist_struct!(AirState {
+    temperature,
+    humidity_ratio,
+    co2,
+});
+bz_state::persist_struct!(ZoneParams {
+    volume_m3,
+    envelope_ua,
+    thermal_mass_factor,
+    internal_gain_w,
+    infiltration_m3s,
+});
+bz_state::persist_struct!(ZoneInputs {
+    hvac_sensible_w,
+    hvac_condensation_kg_s,
+    occupant_sensible_w,
+    occupant_latent_kg_s,
+    occupant_co2_m3s,
+    ventilation_m3s,
+    ventilation_temp,
+    ventilation_ratio,
+    ventilation_co2,
+    opening_exchange_m3s,
+});
+bz_state::persist_struct!(Zone { params, state });
+
 #[cfg(test)]
 mod tests {
     use super::*;

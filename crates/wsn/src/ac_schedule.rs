@@ -98,6 +98,29 @@ impl AcScheduler {
             TxFailure::Fading => {}
         }
     }
+
+    /// Serializes the dynamic schedule state (phase, random stream,
+    /// reshuffle count). The period and adaptation flag are construction
+    /// parameters, rebuilt on restore.
+    pub fn save_state(&self, w: &mut bz_state::Writer) {
+        use bz_state::Persist;
+        self.offset.save(w);
+        self.rng.save(w);
+        w.put_u64(self.reshuffles);
+    }
+
+    /// Restores the dynamic state saved by [`Self::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a decode error if the bytes do not parse.
+    pub fn load_state(&mut self, r: &mut bz_state::Reader<'_>) -> Result<(), bz_state::StateError> {
+        use bz_state::Persist;
+        self.offset = Persist::load(r)?;
+        self.rng = Persist::load(r)?;
+        self.reshuffles = r.take_u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

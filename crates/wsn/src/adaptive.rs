@@ -314,6 +314,51 @@ impl FixedSchedule {
     }
 }
 
+// --- Checkpoint support --------------------------------------------------
+
+bz_state::persist_struct!(FixedSchedule {
+    sampling_period,
+    transmissions,
+});
+
+impl BtAdaptive {
+    /// Serializes the dynamic scheduler state (window, histogram, λ,
+    /// counters). Configuration and the obs handle are rebuilt on restore.
+    pub fn save_state(&self, w: &mut bz_state::Writer) {
+        use bz_state::Persist;
+        self.window.save(w);
+        self.histogram.save(w);
+        self.lambda.save(w);
+        self.lambda_refreshed_at.save(w);
+        self.counters_reset_at.save(w);
+        w.put_u32(self.w);
+        w.put_u32(self.stable_run);
+        self.next_send.save(w);
+        w.put_u64(self.transmissions);
+        w.put_u64(self.samples);
+    }
+
+    /// Restores the dynamic state saved by [`Self::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a decode error if the bytes do not parse.
+    pub fn load_state(&mut self, r: &mut bz_state::Reader<'_>) -> Result<(), bz_state::StateError> {
+        use bz_state::Persist;
+        self.window = Persist::load(r)?;
+        self.histogram = Persist::load(r)?;
+        self.lambda = Persist::load(r)?;
+        self.lambda_refreshed_at = Persist::load(r)?;
+        self.counters_reset_at = Persist::load(r)?;
+        self.w = r.take_u32()?;
+        self.stable_run = r.take_u32()?;
+        self.next_send = Persist::load(r)?;
+        self.transmissions = r.take_u64()?;
+        self.samples = r.take_u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

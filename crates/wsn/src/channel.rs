@@ -342,7 +342,59 @@ impl Network {
     pub fn take_failures(&mut self) -> Vec<(Message, TxFailure)> {
         std::mem::take(&mut self.failures)
     }
+
+    /// Serializes the dynamic channel state: the random stream, frames on
+    /// the air, statistics, and unclaimed failure reports. Configuration,
+    /// the fault schedule, and the obs handle are rebuilt on restore.
+    pub fn save_state(&self, w: &mut bz_state::Writer) {
+        use bz_state::Persist;
+        self.rng.save(w);
+        self.in_flight.save(w);
+        self.stats.save(w);
+        self.failures.save(w);
+    }
+
+    /// Restores the dynamic state saved by [`Self::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a decode error if the bytes do not parse.
+    pub fn load_state(&mut self, r: &mut bz_state::Reader<'_>) -> Result<(), bz_state::StateError> {
+        use bz_state::Persist;
+        self.rng = Persist::load(r)?;
+        self.in_flight = Persist::load(r)?;
+        self.stats = Persist::load(r)?;
+        self.failures = Persist::load(r)?;
+        self.done_buf.clear();
+        Ok(())
+    }
 }
+
+// --- Checkpoint support --------------------------------------------------
+
+bz_state::persist_unit_enum!(TxFailure {
+    Collision,
+    ChannelBusy,
+    Fading,
+});
+bz_state::persist_struct!(ChannelStats {
+    offered,
+    delivered,
+    collided,
+    busy_drops,
+    faded,
+    total_delay_ms,
+    max_delay_ms,
+    backoffs,
+});
+bz_state::persist_struct!(Flight {
+    start,
+    end,
+    requested,
+    message,
+    corrupted,
+    faded,
+});
 
 #[cfg(test)]
 mod tests {

@@ -188,6 +188,30 @@ impl EnergyLedger {
         let avg_power = self.consumed_j / elapsed;
         Some(self.model.battery_j / avg_power / SECONDS_PER_YEAR)
     }
+
+    /// Serializes the dynamic ledger state (consumption, counters). The
+    /// energy model is rebuilt from config on restore.
+    pub fn save_state(&self, w: &mut bz_state::Writer) {
+        use bz_state::Persist;
+        w.put_f64(self.consumed_j);
+        self.base_accounted_until.save(w);
+        w.put_u64(self.transmissions);
+        w.put_u64(self.samples);
+    }
+
+    /// Restores the dynamic state saved by [`Self::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a decode error if the bytes do not parse.
+    pub fn load_state(&mut self, r: &mut bz_state::Reader<'_>) -> Result<(), bz_state::StateError> {
+        use bz_state::Persist;
+        self.consumed_j = r.take_f64()?;
+        self.base_accounted_until = Persist::load(r)?;
+        self.transmissions = r.take_u64()?;
+        self.samples = r.take_u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

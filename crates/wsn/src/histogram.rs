@@ -333,6 +333,17 @@ impl ExactClusterer {
     }
 }
 
+// --- Checkpoint support --------------------------------------------------
+
+bz_state::persist_unit_enum!(Stability { Stable, Transition });
+bz_state::persist_struct!(VarianceHistogram {
+    n_slots,
+    var_min,
+    var_max,
+    counts,
+    observed,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

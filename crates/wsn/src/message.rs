@@ -187,6 +187,36 @@ impl Message {
     }
 }
 
+// --- Checkpoint support --------------------------------------------------
+
+impl bz_state::Persist for NodeId {
+    fn save(&self, w: &mut bz_state::Writer) {
+        w.put_u16(self.0);
+    }
+
+    fn load(r: &mut bz_state::Reader<'_>) -> Result<Self, bz_state::StateError> {
+        Ok(Self(r.take_u16()?))
+    }
+}
+
+bz_state::persist_unit_enum!(DataType {
+    Temperature,
+    Humidity,
+    Co2,
+    FlowRate,
+    SupplyTemperature,
+    OutletDewPoint,
+    ControlTarget,
+    Actuation,
+});
+bz_state::persist_struct!(Message {
+    source,
+    data_type,
+    channel,
+    value,
+    created_at,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

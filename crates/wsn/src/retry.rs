@@ -135,7 +135,31 @@ impl ControlRetrier {
     pub fn pending_len(&self) -> usize {
         self.pending.len()
     }
+
+    /// Serializes the dynamic retry state (pending resends, attempt
+    /// table). Configuration and the obs handle are rebuilt on restore.
+    pub fn save_state(&self, w: &mut bz_state::Writer) {
+        use bz_state::Persist;
+        self.pending.save(w);
+        self.attempts.save(w);
+    }
+
+    /// Restores the dynamic state saved by [`Self::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a decode error if the bytes do not parse.
+    pub fn load_state(&mut self, r: &mut bz_state::Reader<'_>) -> Result<(), bz_state::StateError> {
+        use bz_state::Persist;
+        self.pending = Persist::load(r)?;
+        self.attempts = Persist::load(r)?;
+        Ok(())
+    }
 }
+
+// --- Checkpoint support --------------------------------------------------
+
+bz_state::persist_struct!(PendingRetry { due, message });
 
 #[cfg(test)]
 mod tests {

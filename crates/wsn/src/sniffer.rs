@@ -167,6 +167,18 @@ impl Sniffer {
     }
 }
 
+// --- Checkpoint support --------------------------------------------------
+
+bz_state::persist_struct!(PacketRecord {
+    at,
+    source,
+    data_type,
+    channel,
+    value,
+    delay,
+});
+bz_state::persist_struct!(Sniffer { log });
+
 #[cfg(test)]
 mod tests {
     use super::*;
