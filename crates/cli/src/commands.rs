@@ -8,7 +8,7 @@ use bz_core::metrics::CopSummary;
 use bz_core::scenario::{NetworkTrial, TRIAL_START_HOUR};
 use bz_core::system::{BtMode, BubbleZeroSystem, SystemConfig};
 use bz_psychro::{Celsius, Ppm};
-use bz_simcore::{SimDuration, TraceRecorder};
+use bz_simcore::{NoiseKernel, SimDuration, TraceRecorder};
 use bz_thermal::comfort::{pmv, ppd, ComfortInputs};
 use bz_thermal::disturbance::DisturbanceSchedule;
 use bz_thermal::plant::PlantConfig;
@@ -59,7 +59,8 @@ COMMANDS:
                  strategy
     bench      wall-clock performance measurements
                  throughput  --minutes N (1920)  --seed S
-                 --json-out PATH (BENCH_0007.json)  --baseline F
+                 --json-out PATH (BENCH_0009.json)  --baseline F
+                 --noise v1|v2 (pin the kernel)  --ab N (interleaved pairs)
                  --check --min-sim-per-wall F
                  --checkpoint-dir DIR --checkpoint-every SECS
                    (measure the checkpointing tax)
@@ -228,7 +229,13 @@ fn trial(args: &Args) -> Result<String, ArgError> {
     let seed: u64 = args.get_or("seed", 0x5EED_0001)?;
     let quiet = args.flag("quiet");
     let opts = CheckpointOpts::from_args(args)?;
-    let mut session = opts.session("trial", &format!("trial seed={seed} minutes={minutes}"))?;
+    let mut session = opts.session(
+        "trial",
+        &format!(
+            "trial seed={seed} minutes={minutes} noise={}",
+            NoiseKernel::from_env()
+        ),
+    )?;
     let metrics = metrics_begin(args)?;
 
     let plant = PlantConfig::bubble_zero_lab()
@@ -549,7 +556,10 @@ fn endurance(args: &Args) -> Result<String, ArgError> {
             "--stream cannot be combined with checkpointing flags",
         ));
     }
-    let mut session = opts.session("endurance", &format!("endurance days={days}"))?;
+    let mut session = opts.session(
+        "endurance",
+        &format!("endurance days={days} noise={}", NoiseKernel::from_env()),
+    )?;
     let metrics = metrics_begin(args)?;
     let stream = args.flag("stream");
     if stream {
@@ -760,7 +770,9 @@ fn sweep(args: &Args) -> Result<String, ArgError> {
 /// `bzctl bench <name>`: wall-clock performance measurements. The only
 /// bench so far is `throughput`, which runs the bundled trial scenario
 /// with telemetry off, reports sim-seconds per wall-second, and writes
-/// the `BENCH_0007.json` record CI gates on (see docs/PERFORMANCE.md).
+/// the `BENCH_*.json` record CI gates on (see docs/PERFORMANCE.md).
+/// `--noise` pins the kernel for a single run; `--ab N` instead measures
+/// N interleaved V1/V2 pass pairs and reports per-version medians.
 fn bench(raw: Vec<String>) -> Result<String, ArgError> {
     let mut raw = raw;
     let which = if raw.first().is_some_and(|t| !t.starts_with("--")) {
@@ -768,6 +780,7 @@ fn bench(raw: Vec<String>) -> Result<String, ArgError> {
     } else {
         return Err(ArgError::new(
             "usage: bzctl bench throughput [--minutes N] [--seed S] \
+             [--noise v1|v2] [--ab PAIRS] \
              [--json-out PATH] [--baseline F] [--check --min-sim-per-wall F]",
         ));
     };
@@ -782,6 +795,8 @@ fn bench(raw: Vec<String>) -> Result<String, ArgError> {
         "seed",
         "json-out",
         "baseline",
+        "noise",
+        "ab",
         "check",
         "min-sim-per-wall",
         "checkpoint-dir",
@@ -799,8 +814,16 @@ fn bench(raw: Vec<String>) -> Result<String, ArgError> {
         None if args.flag("json-out") => {
             return Err(ArgError::new("flag --json-out needs a value"))
         }
-        None => Some("BENCH_0007.json".to_owned()),
+        None => Some("BENCH_0009.json".to_owned()),
     };
+    let noise = match args.get("noise") {
+        Some(name) => Some(NoiseKernel::parse(name).ok_or_else(|| {
+            ArgError::new(format!("unknown noise kernel '{name}' (expected: v1, v2)"))
+        })?),
+        None if args.flag("noise") => return Err(ArgError::new("flag --noise needs a value")),
+        None => None,
+    };
+    let ab_pairs: u64 = args.get_or("ab", 0)?;
     let check = args.flag("check");
     let floor: f64 = args.get_or("min-sim-per-wall", 0.0)?;
     if check && floor <= 0.0 {
@@ -808,6 +831,43 @@ fn bench(raw: Vec<String>) -> Result<String, ArgError> {
     }
 
     let opts = CheckpointOpts::from_args(&args)?;
+    if ab_pairs > 0 {
+        if opts.active() {
+            return Err(ArgError::new(
+                "--ab cannot be combined with checkpointing flags",
+            ));
+        }
+        if noise.is_some() {
+            return Err(ArgError::new("--ab measures both kernels; drop --noise"));
+        }
+        let report = bz_bench::throughput::measure_ab(minutes, seed, ab_pairs as usize);
+        let mut out = report.summary();
+        out += "\n";
+        if let Some(base) = baseline {
+            out += &format!(
+                "baseline {base:.0} sim-s/wall-s, v2 speedup {:.2}x\n",
+                report.sim_per_wall() / base,
+            );
+        }
+        if let Some(path) = &json_out {
+            std::fs::write(path, report.to_json(baseline))
+                .map_err(|e| ArgError::new(format!("cannot write {path}: {e}")))?;
+            out += &format!("bench record written to {path}\n");
+        }
+        if check && report.sim_per_wall() < floor {
+            return Err(ArgError::new(format!(
+                "throughput regression: {:.0} sim-s/wall-s is below the floor {floor:.0}",
+                report.sim_per_wall(),
+            )));
+        }
+        if check {
+            out += &format!(
+                "check passed: {:.0} >= floor {floor:.0}\n",
+                report.sim_per_wall()
+            );
+        }
+        return Ok(out);
+    }
     let report = match (&opts.dir, opts.every_s) {
         (Some(dir), Some(every_s)) => {
             bz_bench::throughput::measure_trial_with_checkpoints(minutes, seed, every_s, dir)
@@ -818,10 +878,16 @@ fn bench(raw: Vec<String>) -> Result<String, ArgError> {
                 "bench --checkpoint-dir needs --checkpoint-every SECS",
             ))
         }
-        _ => bz_bench::throughput::measure_trial(minutes, seed),
+        _ => match noise {
+            Some(noise) => bz_bench::throughput::measure_trial_with_noise(minutes, seed, noise),
+            None => bz_bench::throughput::measure_trial(minutes, seed),
+        },
     };
     let mut out = report.summary_line();
     out += "\n";
+    if let Some(noise) = noise {
+        out += &format!("(noise kernel pinned to {noise})\n");
+    }
     if opts.active() {
         out += &format!(
             "(with a checkpoint every {} simulated seconds)\n",
@@ -908,8 +974,10 @@ fn chaos(args: &Args) -> Result<String, ArgError> {
     let mut session = opts.session(
         "chaos",
         &format!(
-            "chaos scenario={} seed={} minutes={minutes}",
-            scenario.name, scenario.seed
+            "chaos scenario={} seed={} minutes={minutes} noise={}",
+            scenario.name,
+            scenario.seed,
+            NoiseKernel::from_env()
         ),
     )?;
     let metrics = metrics_begin(args)?;
@@ -1008,8 +1076,11 @@ fn mpc(args: &Args) -> Result<String, ArgError> {
     let mut session = opts.session(
         "mpc",
         &format!(
-            "mpc scenario={} seed={} minutes={minutes} horizon={}",
-            scenario.name, scenario.seed, config.horizon
+            "mpc scenario={} seed={} minutes={minutes} horizon={} noise={}",
+            scenario.name,
+            scenario.seed,
+            config.horizon,
+            NoiseKernel::from_env()
         ),
     )?;
 
@@ -1237,6 +1308,55 @@ mod tests {
     }
 
     #[test]
+    fn bench_throughput_pins_the_noise_kernel() {
+        let dir = std::env::temp_dir().join("bzctl-bench-noise");
+        std::fs::create_dir_all(&dir).unwrap();
+        let json = dir.join("BENCH_test.json");
+        let out = run_ok(
+            "bench",
+            &[
+                "throughput",
+                "--minutes",
+                "1",
+                "--noise",
+                "v1",
+                "--json-out",
+                json.to_str().unwrap(),
+            ],
+        );
+        assert!(out.contains("noise kernel pinned to v1"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bench_throughput_ab_reports_both_medians() {
+        let dir = std::env::temp_dir().join("bzctl-bench-ab");
+        std::fs::create_dir_all(&dir).unwrap();
+        let json = dir.join("BENCH_ab.json");
+        let out = run_ok(
+            "bench",
+            &[
+                "throughput",
+                "--minutes",
+                "1",
+                "--ab",
+                "1",
+                "--json-out",
+                json.to_str().unwrap(),
+                "--baseline",
+                "1",
+            ],
+        );
+        assert!(out.contains("v1 median:"));
+        assert!(out.contains("v2 median:"));
+        let record = std::fs::read_to_string(&json).unwrap();
+        assert!(record.contains("\"bench\": \"throughput-ab\""));
+        assert!(record.contains("\"v1_median_sim_per_wall\""));
+        assert!(record.contains("\"v2_median_sim_per_wall\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn bench_rejects_bad_inputs() {
         assert!(run("bench", vec![]).is_err());
         assert!(run("bench", vec!["frobnicate".into()]).is_err());
@@ -1246,6 +1366,35 @@ mod tests {
         )
         .is_err());
         assert!(run("bench", vec!["throughput".into(), "--check".into()]).is_err());
+        assert!(run(
+            "bench",
+            vec!["throughput".into(), "--noise".into(), "v3".into()]
+        )
+        .is_err());
+        assert!(run(
+            "bench",
+            vec![
+                "throughput".into(),
+                "--ab".into(),
+                "1".into(),
+                "--noise".into(),
+                "v1".into()
+            ]
+        )
+        .is_err());
+        assert!(run(
+            "bench",
+            vec![
+                "throughput".into(),
+                "--ab".into(),
+                "1".into(),
+                "--checkpoint-dir".into(),
+                "/tmp/x".into(),
+                "--checkpoint-every".into(),
+                "60".into()
+            ]
+        )
+        .is_err());
     }
 
     #[test]

@@ -223,11 +223,90 @@ struct PumpWatch {
     next_probe_s: f64,
 }
 
+/// Channels in the static lab plan: 12 ceiling + 4 room + 4 CO₂ +
+/// 4 outlet + 1 supply-temperature broadcast channel.
+const PLAN_CHANNELS: usize = 25;
+
+/// Quantities [`bounds_for`] tracks, in `DataType`'s derived order:
+/// Temperature, Humidity, Co2, SupplyTemperature, OutletDewPoint. The
+/// order is load-bearing — slot order must equal `BTreeMap` key order
+/// so [`SensorHealthSupervisor::save_state`] can emit the map encoding
+/// by walking slots.
+const TRACKED_TYPES: [DataType; 5] = [
+    DataType::Temperature,
+    DataType::Humidity,
+    DataType::Co2,
+    DataType::SupplyTemperature,
+    DataType::OutletDewPoint,
+];
+
+/// Rank of `channel` within the static plan, ascending in channel
+/// number, or `None` for a channel outside the plan.
+fn channel_rank(channel: u16) -> Option<usize> {
+    const CEILING_LAST: u16 = channels::CEILING_BASE + 11;
+    const ROOM_LAST: u16 = channels::ROOM_BASE + 3;
+    const CO2_LAST: u16 = channels::CO2_BASE + 3;
+    const OUTLET_LAST: u16 = channels::OUTLET_BASE + 3;
+    match channel {
+        channels::CEILING_BASE..=CEILING_LAST => Some((channel - channels::CEILING_BASE) as usize),
+        channels::ROOM_BASE..=ROOM_LAST => Some(12 + (channel - channels::ROOM_BASE) as usize),
+        channels::CO2_BASE..=CO2_LAST => Some(16 + (channel - channels::CO2_BASE) as usize),
+        channels::OUTLET_BASE..=OUTLET_LAST => {
+            Some(20 + (channel - channels::OUTLET_BASE) as usize)
+        }
+        channels::SUPPLY_TEMP => Some(24),
+        _ => None,
+    }
+}
+
+/// Inverse of [`channel_rank`].
+fn plan_channel(rank: usize) -> u16 {
+    #[allow(clippy::cast_possible_truncation)]
+    let rank16 = rank as u16;
+    match rank {
+        0..=11 => channels::CEILING_BASE + rank16,
+        12..=15 => channels::ROOM_BASE + (rank16 - 12),
+        16..=19 => channels::CO2_BASE + (rank16 - 16),
+        20..=23 => channels::OUTLET_BASE + (rank16 - 20),
+        _ => channels::SUPPLY_TEMP,
+    }
+}
+
+/// Rank of `data_type` among [`TRACKED_TYPES`], or `None` for types
+/// [`bounds_for`] never tracks.
+fn type_rank(data_type: DataType) -> Option<usize> {
+    TRACKED_TYPES.iter().position(|t| *t == data_type)
+}
+
+/// Dense slot of a tracked `(data_type, channel)` key, or `None` when
+/// either half falls outside the static plan.
+fn dense_slot(data_type: DataType, channel: u16) -> Option<usize> {
+    Some(type_rank(data_type)? * PLAN_CHANNELS + channel_rank(channel)?)
+}
+
+/// The `(data_type, channel)` key a dense slot stands for.
+fn slot_key(slot: usize) -> (DataType, u16) {
+    (
+        TRACKED_TYPES[slot / PLAN_CHANNELS],
+        plan_channel(slot % PLAN_CHANNELS),
+    )
+}
+
 /// The supervisor guarding both control modules. See the module docs.
+///
+/// Channel validation state lives in a dense slot table indexed by
+/// `(tracked type, plan channel)`: every delivered sample hits
+/// [`SensorHealthSupervisor::validate`], so the per-message map walk of
+/// the former `BTreeMap` was measurable in end-to-end throughput. Keys
+/// outside the static plan (none in the stock lab, but the validator
+/// accepts any addressed broadcast) spill to the `overflow` map, and
+/// [`SensorHealthSupervisor::save_state`] re-emits both as the original
+/// sorted-map encoding so checkpoint bytes are unchanged.
 #[derive(Debug, Clone)]
 pub struct SensorHealthSupervisor {
     config: SupervisorConfig,
-    channels: std::collections::BTreeMap<(DataType, u16), ChannelState>,
+    dense: Vec<Option<ChannelState>>,
+    overflow: std::collections::BTreeMap<(DataType, u16), ChannelState>,
     pumps: [PumpWatch; 2],
     detections: Vec<Detection>,
     obs: bz_obs::Handle,
@@ -239,7 +318,8 @@ impl SensorHealthSupervisor {
     pub fn new(config: SupervisorConfig) -> Self {
         Self {
             config,
-            channels: std::collections::BTreeMap::new(),
+            dense: vec![None; TRACKED_TYPES.len() * PLAN_CHANNELS],
+            overflow: std::collections::BTreeMap::new(),
             pumps: Default::default(),
             detections: Vec::new(),
             obs: bz_obs::Handle::global(),
@@ -269,7 +349,12 @@ impl SensorHealthSupervisor {
     /// fault is latched.
     #[must_use]
     pub fn anything_flagged(&self) -> bool {
-        self.channels.values().any(|c| c.unhealthy) || self.pumps.iter().any(|p| p.fault)
+        self.dense
+            .iter()
+            .flatten()
+            .chain(self.overflow.values())
+            .any(|c| c.unhealthy)
+            || self.pumps.iter().any(|p| p.fault)
     }
 
     /// Validates one delivered reading. Returns `Ok(())` to pass it to
@@ -288,7 +373,10 @@ impl SensorHealthSupervisor {
         let Some(bounds) = bounds_for(data_type, channel) else {
             return Ok(());
         };
-        let state = self.channels.entry((data_type, channel)).or_default();
+        let state = match dense_slot(data_type, channel) {
+            Some(slot) => self.dense[slot].get_or_insert_with(ChannelState::default),
+            None => self.overflow.entry((data_type, channel)).or_default(),
+        };
 
         let verdict = Self::judge(&self.config, state, now_s, value, bounds);
         match verdict {
@@ -381,7 +469,11 @@ impl SensorHealthSupervisor {
     /// staleness window. Channels never heard from are *not* trusted.
     #[must_use]
     pub fn channel_trusted(&self, data_type: DataType, channel: u16, now_s: f64) -> bool {
-        match self.channels.get(&(data_type, channel)) {
+        let state = match dense_slot(data_type, channel) {
+            Some(slot) => self.dense[slot].as_ref(),
+            None => self.overflow.get(&(data_type, channel)),
+        };
+        match state {
             Some(state) => {
                 !state.unhealthy
                     && state
@@ -514,7 +606,25 @@ impl SensorHealthSupervisor {
     /// Tuning and the obs handle are rebuilt on restore.
     pub fn save_state(&self, w: &mut bz_state::Writer) {
         use bz_state::Persist;
-        self.channels.save(w);
+        // Emit the channel table in the exact encoding of the former
+        // `BTreeMap<(DataType, u16), ChannelState>` — a length prefix
+        // followed by `(key, value)` pairs sorted by key — so checkpoint
+        // bytes are identical to pre-dense-table builds in both
+        // directions. Dense slots already walk in key order; the (in
+        // practice empty) overflow map is merged in by a sort.
+        let mut merged: Vec<((DataType, u16), &ChannelState)> = self
+            .dense
+            .iter()
+            .enumerate()
+            .filter_map(|(slot, state)| state.as_ref().map(|s| (slot_key(slot), s)))
+            .chain(self.overflow.iter().map(|(k, v)| (*k, v)))
+            .collect();
+        merged.sort_unstable_by_key(|(k, _)| *k);
+        w.put_len(merged.len());
+        for (key, state) in merged {
+            key.save(w);
+            state.save(w);
+        }
         self.pumps.save(w);
         self.detections.save(w);
     }
@@ -526,7 +636,17 @@ impl SensorHealthSupervisor {
     /// Returns a decode error if the bytes do not parse.
     pub fn load_state(&mut self, r: &mut bz_state::Reader<'_>) -> Result<(), bz_state::StateError> {
         use bz_state::Persist;
-        self.channels = Persist::load(r)?;
+        let channels: std::collections::BTreeMap<(DataType, u16), ChannelState> = Persist::load(r)?;
+        self.dense = vec![None; TRACKED_TYPES.len() * PLAN_CHANNELS];
+        self.overflow.clear();
+        for ((data_type, channel), state) in channels {
+            match dense_slot(data_type, channel) {
+                Some(slot) => self.dense[slot] = Some(state),
+                None => {
+                    self.overflow.insert((data_type, channel), state);
+                }
+            }
+        }
         self.pumps = Persist::load(r)?;
         self.detections = Persist::load(r)?;
         Ok(())
@@ -773,5 +893,60 @@ mod tests {
                 assert!((-5.0..=55.0).contains(&v));
             }
         }
+    }
+
+    #[test]
+    fn dense_slot_mapping_round_trips_and_orders_like_the_map_key() {
+        // Every slot must map back to itself, and walking slots in order
+        // must walk `(DataType, u16)` keys in strictly ascending order —
+        // that equivalence is what lets `save_state` emit the sorted-map
+        // encoding straight from the dense table.
+        let mut prev: Option<(DataType, u16)> = None;
+        for slot in 0..TRACKED_TYPES.len() * PLAN_CHANNELS {
+            let key = slot_key(slot);
+            assert_eq!(dense_slot(key.0, key.1), Some(slot), "slot {slot}");
+            if let Some(p) = prev {
+                assert!(p < key, "slot {slot}: {p:?} !< {key:?}");
+            }
+            prev = Some(key);
+        }
+        // Untracked types and off-plan channels must spill to overflow.
+        assert_eq!(dense_slot(DataType::FlowRate, channels::CEILING_BASE), None);
+        assert_eq!(dense_slot(DataType::Temperature, 99), None);
+        assert_eq!(dense_slot(DataType::Temperature, 501), None);
+    }
+
+    #[test]
+    fn save_bytes_match_the_sorted_map_encoding() {
+        // Feed a mix of plan channels and one off-plan channel, then
+        // check the persisted channel table is byte-identical to the
+        // former `BTreeMap` encoding rebuilt from the public state.
+        let mut s = supervisor();
+        feed_healthy(&mut s, channels::CEILING_BASE + 3, 0, 60);
+        assert_eq!(
+            s.validate(1.0, DataType::Humidity, channels::ROOM_BASE, 55.0),
+            Ok(())
+        );
+        assert_eq!(
+            s.validate(2.0, DataType::Co2, channels::CO2_BASE + 1, 600.0),
+            Ok(())
+        );
+        assert_eq!(s.validate(3.0, DataType::Temperature, 999, 24.0), Ok(()));
+
+        let mut w = bz_state::Writer::new();
+        s.save_state(&mut w);
+        let bytes = w.into_bytes();
+
+        // Round-trip restores the identical table (and re-saves to the
+        // identical bytes), covering dense and overflow alike.
+        let mut restored = supervisor();
+        let mut r = bz_state::Reader::new(&bytes);
+        restored.load_state(&mut r).expect("load");
+        assert!(s.channel_trusted(DataType::Temperature, channels::CEILING_BASE + 3, 60.0));
+        assert!(restored.channel_trusted(DataType::Temperature, channels::CEILING_BASE + 3, 60.0));
+        assert!(restored.channel_trusted(DataType::Temperature, 999, 4.0));
+        let mut w2 = bz_state::Writer::new();
+        restored.save_state(&mut w2);
+        assert_eq!(bytes, w2.into_bytes());
     }
 }

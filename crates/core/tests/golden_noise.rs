@@ -1,0 +1,108 @@
+//! Golden regression gate for the noise-kernel versioning seam.
+//!
+//! The V1 (Box–Muller) noise kernel is the reference for every export
+//! produced before the ziggurat kernel landed. These checksums were
+//! captured from the tree *immediately before* the `NoiseKernel` seam was
+//! introduced; a trial run with `BZ_NOISE=v1` must keep reproducing them
+//! byte-for-byte forever. If this test fails, V1 compatibility is broken
+//! and historical exports are no longer reproducible.
+
+use bz_core::system::{BubbleZeroSystem, SystemConfig};
+use bz_obs::Handle;
+use bz_simcore::NoiseKernel;
+use bz_thermal::disturbance::DisturbanceSchedule;
+use bz_thermal::plant::PlantConfig;
+use bz_thermal::zone::SubspaceId;
+
+const SEED: u64 = 0x5EED_0001;
+const MINUTES: u64 = 10;
+
+/// CRC-64/XZ of the metric JSONL export of the 10-minute golden trial.
+const GOLDEN_JSONL_CRC: u64 = 0x4643_c1a7_8a7f_2b9b;
+/// CRC-64/XZ of the metric CSV export of the 10-minute golden trial.
+const GOLDEN_CSV_CRC: u64 = 0x3116_fa4c_68fb_1884;
+/// CRC-64/XZ of the end-of-run plant fingerprint bit patterns.
+const GOLDEN_STATE_CRC: u64 = 0xdb2c_f281_6d33_5c30;
+
+fn plant_fingerprint(system: &BubbleZeroSystem) -> Vec<u64> {
+    let plant = system.plant();
+    let mut bits = Vec::new();
+    for s in 0..4 {
+        let state = plant.zone_state(SubspaceId::from_index(s));
+        bits.push(state.temperature.get().to_bits());
+        bits.push(state.humidity_ratio.get().to_bits());
+        bits.push(state.co2.get().to_bits());
+    }
+    for panel in 0..2 {
+        bits.push(plant.panel_surface(panel).get().to_bits());
+        bits.push(plant.loop_mixed_temp(panel).get().to_bits());
+    }
+    bits.push(plant.radiant_tank_temperature().get().to_bits());
+    bits.push(plant.vent_tank_temperature().get().to_bits());
+    let meters = plant.meters();
+    bits.push(meters.radiant_chiller.get().to_bits());
+    bits.push(meters.vent_chiller.get().to_bits());
+    bits.push(meters.pumps.get().to_bits());
+    bits.push(meters.fans.get().to_bits());
+    bits
+}
+
+fn run_trial() -> (Vec<u8>, Vec<u8>, Vec<u64>) {
+    let plant = PlantConfig::bubble_zero_lab()
+        .with_seed(SEED ^ 0x9E37)
+        .with_noise(NoiseKernel::V1)
+        .with_disturbances(DisturbanceSchedule::figure10_afternoon());
+    let config = SystemConfig {
+        seed: SEED,
+        ..SystemConfig::paper_deployment(plant)
+    };
+    let obs = Handle::isolated();
+    let mut system = BubbleZeroSystem::with_obs(config, obs.clone());
+    for minute in 1..=MINUTES {
+        system.run_seconds(60);
+        obs.record_counters(minute * 60_000);
+    }
+    let mut jsonl = Vec::new();
+    obs.write_jsonl(&mut jsonl).expect("jsonl export");
+    let mut csv = Vec::new();
+    obs.write_csv(&mut csv).expect("csv export");
+    let bits = plant_fingerprint(&system);
+    (jsonl, csv, bits)
+}
+
+fn state_crc(bits: &[u64]) -> u64 {
+    let mut bytes = Vec::with_capacity(bits.len() * 8);
+    for b in bits {
+        bytes.extend_from_slice(&b.to_le_bytes());
+    }
+    bz_state::crc64::checksum(&bytes)
+}
+
+#[test]
+fn v1_noise_reproduces_the_pre_seam_golden_exports() {
+    let (jsonl, csv, bits) = run_trial();
+    if std::env::var("BZ_GOLDEN_PRINT").is_ok() {
+        println!(
+            "GOLDEN_JSONL_CRC: {:#018x}",
+            bz_state::crc64::checksum(&jsonl)
+        );
+        println!("GOLDEN_CSV_CRC: {:#018x}", bz_state::crc64::checksum(&csv));
+        println!("GOLDEN_STATE_CRC: {:#018x}", state_crc(&bits));
+        return;
+    }
+    assert_eq!(
+        bz_state::crc64::checksum(&jsonl),
+        GOLDEN_JSONL_CRC,
+        "V1 JSONL export diverged from the golden capture"
+    );
+    assert_eq!(
+        bz_state::crc64::checksum(&csv),
+        GOLDEN_CSV_CRC,
+        "V1 CSV export diverged from the golden capture"
+    );
+    assert_eq!(
+        state_crc(&bits),
+        GOLDEN_STATE_CRC,
+        "V1 plant fingerprint diverged from the golden capture"
+    );
+}

@@ -7,9 +7,14 @@
 //! path, and leaves the plant in a bit-identical physical state. The
 //! reference path is the pre-optimization code, preserved behind
 //! `PlantConfig::scalar_reference` (env: `BZ_SCALAR_REFERENCE`).
+//!
+//! The contract is *per noise version*: V1 and V2 emit different bit
+//! streams by design, but within each kernel the scalar and fast paths
+//! must agree bytewise, so the parity trial runs once per kernel.
 
 use bz_core::system::{BubbleZeroSystem, SystemConfig};
 use bz_obs::Handle;
+use bz_simcore::NoiseKernel;
 use bz_thermal::disturbance::DisturbanceSchedule;
 use bz_thermal::plant::PlantConfig;
 use bz_thermal::zone::SubspaceId;
@@ -42,9 +47,10 @@ fn plant_fingerprint(system: &BubbleZeroSystem) -> Vec<u64> {
 }
 
 /// Runs the bundled trial scenario and returns (JSONL, CSV, state bits).
-fn run_trial(scalar_reference: bool) -> (Vec<u8>, Vec<u8>, Vec<u64>) {
+fn run_trial(scalar_reference: bool, noise: NoiseKernel) -> (Vec<u8>, Vec<u8>, Vec<u64>) {
     let plant = PlantConfig::bubble_zero_lab()
         .with_seed(SEED ^ 0x9E37)
+        .with_noise(noise)
         .with_disturbances(DisturbanceSchedule::figure10_afternoon())
         .with_scalar_reference(scalar_reference);
     let config = SystemConfig {
@@ -65,10 +71,9 @@ fn run_trial(scalar_reference: bool) -> (Vec<u8>, Vec<u8>, Vec<u64>) {
     (jsonl, csv, bits)
 }
 
-#[test]
-fn fast_path_exports_are_byte_identical_to_the_scalar_reference() {
-    let (jsonl_ref, csv_ref, bits_ref) = run_trial(true);
-    let (jsonl_fast, csv_fast, bits_fast) = run_trial(false);
+fn assert_parity(noise: NoiseKernel) {
+    let (jsonl_ref, csv_ref, bits_ref) = run_trial(true, noise);
+    let (jsonl_fast, csv_fast, bits_fast) = run_trial(false, noise);
 
     assert!(!jsonl_ref.is_empty(), "reference export must not be empty");
     assert!(
@@ -78,14 +83,24 @@ fn fast_path_exports_are_byte_identical_to_the_scalar_reference() {
     );
     assert_eq!(
         jsonl_ref, jsonl_fast,
-        "fast-path JSONL export diverged from the scalar reference"
+        "{noise} fast-path JSONL export diverged from the scalar reference"
     );
     assert_eq!(
         csv_ref, csv_fast,
-        "fast-path CSV export diverged from the scalar reference"
+        "{noise} fast-path CSV export diverged from the scalar reference"
     );
     assert_eq!(
         bits_ref, bits_fast,
-        "fast-path plant state diverged from the scalar reference"
+        "{noise} fast-path plant state diverged from the scalar reference"
     );
+}
+
+#[test]
+fn fast_path_exports_are_byte_identical_to_the_scalar_reference_under_v1() {
+    assert_parity(NoiseKernel::V1);
+}
+
+#[test]
+fn fast_path_exports_are_byte_identical_to_the_scalar_reference_under_v2() {
+    assert_parity(NoiseKernel::V2);
 }

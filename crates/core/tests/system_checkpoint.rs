@@ -5,13 +5,20 @@
 //! or resumed trials would diverge from their uninterrupted twins.
 
 use bz_core::system::{BtMode, BubbleZeroSystem, SystemConfig};
+use bz_simcore::NoiseKernel;
 use bz_thermal::disturbance::DisturbanceSchedule;
 use bz_thermal::plant::PlantConfig;
 use bz_thermal::zone::SubspaceId;
 
 fn config(bt_mode: BtMode) -> SystemConfig {
+    config_with_noise(bt_mode, NoiseKernel::default())
+}
+
+fn config_with_noise(bt_mode: BtMode, noise: NoiseKernel) -> SystemConfig {
     let mut config = SystemConfig::paper_deployment(
-        PlantConfig::bubble_zero_lab().with_disturbances(DisturbanceSchedule::figure10_afternoon()),
+        PlantConfig::bubble_zero_lab()
+            .with_noise(noise)
+            .with_disturbances(DisturbanceSchedule::figure10_afternoon()),
     );
     config.bt_mode = bt_mode;
     config.record_decisions = true;
@@ -82,6 +89,77 @@ fn round_trip(bt_mode: BtMode, warmup_s: u64, tail_s: u64) {
     original.obs().write_jsonl(&mut ja).unwrap();
     restored.obs().write_jsonl(&mut jb).unwrap();
     assert_eq!(ja, jb, "metric exports must match after resume");
+}
+
+/// Kill→resume under an explicit noise kernel: an uninterrupted run and a
+/// run killed at `warmup_s` then resumed from its checkpoint must emit
+/// byte-identical exports through the full horizon.
+fn kill_resume_under(noise: NoiseKernel) {
+    let cfg = || config_with_noise(BtMode::Adaptive, noise);
+    let (warmup_s, tail_s) = (150u64, 150u64);
+
+    let mut uninterrupted = BubbleZeroSystem::with_obs(cfg(), bz_obs::Handle::isolated());
+    uninterrupted.run_seconds(warmup_s + tail_s);
+
+    let mut victim = BubbleZeroSystem::with_obs(cfg(), bz_obs::Handle::isolated());
+    victim.run_seconds(warmup_s);
+    let mut w = bz_state::Writer::new();
+    victim.save_state(&mut w);
+    let bytes = w.into_bytes();
+    drop(victim); // the "kill": nothing survives but the checkpoint bytes
+
+    let mut resumed = BubbleZeroSystem::with_obs(cfg(), bz_obs::Handle::isolated());
+    resumed
+        .load_state(&mut bz_state::Reader::new(&bytes))
+        .expect("load");
+    resumed.run_seconds(tail_s);
+
+    assert_identical(&uninterrupted, &resumed);
+    let (mut ja, mut jb) = (Vec::new(), Vec::new());
+    uninterrupted.obs().write_jsonl(&mut ja).unwrap();
+    resumed.obs().write_jsonl(&mut jb).unwrap();
+    assert_eq!(
+        ja, jb,
+        "{noise} kill->resume exports must match the uninterrupted run"
+    );
+}
+
+#[test]
+fn kill_resume_is_byte_identical_under_v2() {
+    kill_resume_under(NoiseKernel::V2);
+}
+
+#[test]
+fn kill_resume_is_byte_identical_under_v1() {
+    kill_resume_under(NoiseKernel::V1);
+}
+
+/// The checkpoint carries the noise kernel inside every Rng payload, so a
+/// V1 checkpoint restored into a V2-configured system must continue as a
+/// V1 run — the saved kernel wins over the fresh config.
+#[test]
+fn restored_checkpoint_keeps_the_saved_noise_kernel() {
+    let mut original = BubbleZeroSystem::with_obs(
+        config_with_noise(BtMode::Adaptive, NoiseKernel::V1),
+        bz_obs::Handle::isolated(),
+    );
+    original.run_seconds(120);
+    let mut w = bz_state::Writer::new();
+    original.save_state(&mut w);
+    let bytes = w.into_bytes();
+
+    let mut restored = BubbleZeroSystem::with_obs(
+        config_with_noise(BtMode::Adaptive, NoiseKernel::V2),
+        bz_obs::Handle::isolated(),
+    );
+    restored
+        .load_state(&mut bz_state::Reader::new(&bytes))
+        .expect("load");
+    for _ in 0..120 {
+        original.step_second();
+        restored.step_second();
+    }
+    assert_identical(&original, &restored);
 }
 
 #[test]

@@ -100,6 +100,7 @@ impl Handle {
     /// Whether collection is currently on. This is the one relaxed atomic
     /// load every disabled-path instrumentation call reduces to.
     #[must_use]
+    #[inline]
     pub fn is_enabled(&self) -> bool {
         self.inner.enabled.load(Ordering::Relaxed)
     }
@@ -125,6 +126,7 @@ impl Handle {
     /// Adds `delta` to counter `name` (saturating). `name` is anything
     /// convertible to a [`MetricKey`] — a `&'static str` literal or an
     /// owned `String` for per-entity keys like `wsn.node.21.sent`.
+    #[inline]
     pub fn counter_add(&self, name: impl Into<MetricKey>, delta: u64) {
         if self.is_enabled() {
             self.with_registry(|registry| registry.counter_add(name.into(), delta));
@@ -132,6 +134,7 @@ impl Handle {
     }
 
     /// Adds one to counter `name`.
+    #[inline]
     pub fn counter_inc(&self, name: impl Into<MetricKey>) {
         self.counter_add(name, 1);
     }
@@ -140,6 +143,7 @@ impl Handle {
     /// key: the key is cloned only on the counter's first update. Hot
     /// loops that increment a per-entity key (e.g. `wsn.node.21.sent`)
     /// hold the built key and call this to stay allocation-free.
+    #[inline]
     pub fn counter_add_ref(&self, name: &MetricKey, delta: u64) {
         if self.is_enabled() {
             self.with_registry(|registry| registry.counter_add_ref(name, delta));
@@ -148,11 +152,13 @@ impl Handle {
 
     /// Adds one to counter `name` by reference (see
     /// [`counter_add_ref`](Self::counter_add_ref)).
+    #[inline]
     pub fn counter_inc_ref(&self, name: &MetricKey) {
         self.counter_add_ref(name, 1);
     }
 
     /// Sets gauge `name` to `value` at simulation time `t_ms`.
+    #[inline]
     pub fn gauge_set(&self, name: impl Into<MetricKey>, t_ms: u64, value: f64) {
         if self.is_enabled() {
             self.with_registry(|registry| registry.gauge_set(name.into(), t_ms, value));
@@ -161,12 +167,14 @@ impl Handle {
 
     /// Observes `value` into histogram `name` over
     /// [`DEFAULT_BUCKETS`](crate::DEFAULT_BUCKETS).
+    #[inline]
     pub fn observe(&self, name: impl Into<MetricKey>, value: f64) {
         self.observe_in(name, DEFAULT_BUCKETS, value);
     }
 
     /// Observes `value` into histogram `name`, creating it over `buckets`
     /// on first use (later calls keep the original buckets).
+    #[inline]
     pub fn observe_in(&self, name: impl Into<MetricKey>, buckets: &'static [f64], value: f64) {
         if self.is_enabled() {
             self.with_registry(|registry| registry.observe(name.into(), buckets, value));

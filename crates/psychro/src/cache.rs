@@ -75,8 +75,10 @@ impl SaturationCache {
             return saturation_vapor_pressure(temperature);
         }
         let pos = (t - Self::MIN_C) / Self::STEP_C;
+        // `pos >= 0` inside the band, where truncation *is* floor — the
+        // cast alone avoids an out-of-line libm `floor` per lookup.
         #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
-        let i = (pos.floor() as usize).min(self.table.len() - 2);
+        let i = (pos as usize).min(self.table.len() - 2);
         let frac = pos - i as f64;
         let lo = self.table[i];
         let hi = self.table[i + 1];

@@ -3,9 +3,17 @@
 //! Simultaneous events pop in the order they were scheduled (FIFO
 //! tie-breaking), which keeps runs reproducible even when many devices act
 //! on the same millisecond tick.
-
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+//!
+//! # Storage
+//!
+//! The queue is an *unsorted* vector, not a binary heap. The simulation
+//! drains every due event once per tick, so the dominant operation is
+//! "remove the whole due prefix in `(at, seq)` order", and a
+//! partition-and-sort over a ~tens-of-entries vector beats paying heap
+//! percolation on every push and pop. `pop`/`peek_time` degrade to a
+//! linear minimum scan, which at these queue depths is still cheaper
+//! than maintaining heap order — and the scalar-reference path that
+//! leans on `pop_due` is a correctness oracle, not a speed path.
 
 use bz_state::Persist;
 
@@ -17,31 +25,6 @@ struct Entry<E> {
     at: SimTime,
     seq: u64,
     event: E,
-}
-
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-
-impl<E> Eq for Entry<E> {}
-
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; reverse so the earliest time (and the
-        // lowest sequence number among ties) surfaces first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
 }
 
 /// A deterministic priority queue of timed events.
@@ -60,7 +43,7 @@ impl<E> Ord for Entry<E> {
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    entries: Vec<Entry<E>>,
     next_seq: u64,
     obs: bz_obs::Handle,
 }
@@ -78,7 +61,7 @@ impl<E> EventQueue<E> {
     #[must_use]
     pub fn with_obs(obs: bz_obs::Handle) -> Self {
         Self {
-            heap: BinaryHeap::new(),
+            entries: Vec::new(),
             next_seq: 0,
             obs,
         }
@@ -89,26 +72,42 @@ impl<E> EventQueue<E> {
         self.obs.counter_inc("simcore.event_queue.scheduled");
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { at, seq, event });
+        self.entries.push(Entry { at, seq, event });
+    }
+
+    /// Index of the earliest entry by `(at, seq)`, or `None` when empty.
+    fn min_index(&self) -> Option<usize> {
+        let mut iter = self.entries.iter().enumerate();
+        let (mut best, first) = iter.next()?;
+        let mut best_key = (first.at, first.seq);
+        for (i, entry) in iter {
+            let key = (entry.at, entry.seq);
+            if key < best_key {
+                best = i;
+                best_key = key;
+            }
+        }
+        Some(best)
     }
 
     /// Removes and returns the earliest event, or `None` when empty.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let popped = self.heap.pop().map(|entry| (entry.at, entry.event));
-        if popped.is_some() {
-            self.obs.counter_inc("simcore.event_queue.popped");
-        }
-        popped
+        let i = self.min_index()?;
+        let entry = self.entries.swap_remove(i);
+        self.obs.counter_inc("simcore.event_queue.popped");
+        Some((entry.at, entry.event))
     }
 
     /// Removes and returns the earliest event if it fires at or before
     /// `now`; leaves the queue untouched otherwise.
     pub fn pop_due(&mut self, now: SimTime) -> Option<(SimTime, E)> {
-        if self.peek_time().is_some_and(|t| t <= now) {
-            self.pop()
-        } else {
-            None
+        let i = self.min_index()?;
+        if self.entries[i].at > now {
+            return None;
         }
+        let entry = self.entries.swap_remove(i);
+        self.obs.counter_inc("simcore.event_queue.popped");
+        Some((entry.at, entry.event))
     }
 
     /// Drains every event firing at or before `now` into `out`, in the
@@ -124,40 +123,54 @@ impl<E> EventQueue<E> {
     /// when handlers reschedule strictly beyond `now`, as the control
     /// tick loop does.
     pub fn drain_due_into(&mut self, now: SimTime, out: &mut Vec<(SimTime, E)>) -> usize {
-        let mut drained = 0;
-        while self.peek_time().is_some_and(|t| t <= now) {
-            let entry = self.heap.pop().expect("peeked entry must pop");
+        // Partition the due entries into the tail of the vector, then
+        // sort just that tail: one pass plus a ~dozen-element sort per
+        // tick, no per-event percolation.
+        let mut i = 0;
+        let mut end = self.entries.len();
+        while i < end {
+            if self.entries[i].at <= now {
+                end -= 1;
+                self.entries.swap(i, end);
+            } else {
+                i += 1;
+            }
+        }
+        let due = &mut self.entries[end..];
+        if due.is_empty() {
+            return 0;
+        }
+        due.sort_unstable_by_key(|entry| (entry.at, entry.seq));
+        let drained = due.len();
+        for entry in self.entries.drain(end..) {
             out.push((entry.at, entry.event));
-            drained += 1;
         }
-        if drained > 0 {
-            self.obs
-                .counter_add("simcore.event_queue.popped", drained as u64);
-        }
+        self.obs
+            .counter_add("simcore.event_queue.popped", drained as u64);
         drained
     }
 
     /// The firing time of the earliest pending event.
     #[must_use]
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|entry| entry.at)
+        self.min_index().map(|i| self.entries[i].at)
     }
 
     /// Number of pending events.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.entries.len()
     }
 
     /// True when no events are pending.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.entries.is_empty()
     }
 
     /// Drops all pending events.
     pub fn clear(&mut self) {
-        self.heap.clear();
+        self.entries.clear();
     }
 }
 
@@ -170,10 +183,10 @@ impl<E> Default for EventQueue<E> {
 impl<E: bz_state::Persist> EventQueue<E> {
     /// Serializes the queue contents — every pending `(at, seq, event)`
     /// triple plus the sequence allocator — in `(at, seq)` order, so the
-    /// bytes are independent of the heap's internal layout.
+    /// bytes are independent of the vector's insertion order.
     pub fn save_state(&self, w: &mut bz_state::Writer) {
         w.put_u64(self.next_seq);
-        let mut entries: Vec<&Entry<E>> = self.heap.iter().collect();
+        let mut entries: Vec<&Entry<E>> = self.entries.iter().collect();
         entries.sort_by_key(|entry| (entry.at, entry.seq));
         w.put_len(entries.len());
         for entry in entries {
@@ -192,7 +205,7 @@ impl<E: bz_state::Persist> EventQueue<E> {
     pub fn load_state(&mut self, r: &mut bz_state::Reader<'_>) -> Result<(), bz_state::StateError> {
         let next_seq = r.take_u64()?;
         let n = r.take_len()?;
-        let mut heap = BinaryHeap::with_capacity(n);
+        let mut entries = Vec::with_capacity(n);
         for _ in 0..n {
             let at = SimTime::load(r)?;
             let seq = r.take_u64()?;
@@ -203,9 +216,9 @@ impl<E: bz_state::Persist> EventQueue<E> {
                 });
             }
             let event = E::load(r)?;
-            heap.push(Entry { at, seq, event });
+            entries.push(Entry { at, seq, event });
         }
-        self.heap = heap;
+        self.entries = entries;
         self.next_seq = next_seq;
         Ok(())
     }
@@ -323,5 +336,53 @@ mod tests {
         let counters = obs.snapshot().counters;
         assert_eq!(counters["simcore.event_queue.scheduled"], 2);
         assert_eq!(counters["simcore.event_queue.popped"], 1);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_drain_keeps_global_order() {
+        // Drains interleaved with fresh schedules must still pop every
+        // batch in (at, seq) order — the partition leaves later events
+        // in arbitrary vector positions, so this exercises the re-sort.
+        let mut q = EventQueue::with_obs(bz_obs::Handle::isolated());
+        for i in 0..10u64 {
+            q.schedule(SimTime::from_millis(1000 - i * 50), i);
+        }
+        let mut out = Vec::new();
+        q.drain_due_into(SimTime::from_millis(700), &mut out);
+        for i in 10..16u64 {
+            q.schedule(SimTime::from_millis(600 + i * 30), i);
+        }
+        q.drain_due_into(SimTime::from_millis(2000), &mut out);
+        let times: Vec<u64> = out.iter().map(|(t, _)| t.as_millis()).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(times, sorted, "drained batches must be time-ordered");
+        assert_eq!(out.len(), 16);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn save_and_load_round_trip_preserves_order_and_seq() {
+        let mut q = EventQueue::with_obs(bz_obs::Handle::isolated());
+        q.schedule(SimTime::from_secs(3), 30u64);
+        q.schedule(SimTime::from_secs(1), 10u64);
+        q.schedule(SimTime::from_secs(1), 11u64);
+        let mut w = bz_state::Writer::new();
+        q.save_state(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut restored = EventQueue::with_obs(bz_obs::Handle::isolated());
+        let mut r = bz_state::Reader::new(&bytes);
+        restored.load_state(&mut r).expect("load");
+        let order: Vec<u64> = std::iter::from_fn(|| restored.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![10, 11, 30]);
+        // The sequence allocator continues past the restored entries.
+        restored.schedule(SimTime::from_secs(1), 99);
+        let mut w2 = bz_state::Writer::new();
+        restored.save_state(&mut w2);
+        let bytes2 = w2.into_bytes();
+        let mut r2 = bz_state::Reader::new(&bytes2);
+        let next_seq = r2.take_u64().expect("next_seq");
+        assert_eq!(next_seq, 4);
     }
 }

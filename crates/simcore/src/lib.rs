@@ -36,12 +36,16 @@
 #![warn(missing_docs)]
 
 mod events;
+pub mod noise;
+pub mod numeric;
 mod rng;
 pub mod stats;
 mod time;
 mod trace;
 
 pub use events::EventQueue;
+pub use noise::NoiseKernel;
+pub use numeric::{fast_floor, fast_round};
 pub use rng::Rng;
 pub use time::{SimDuration, SimTime};
 pub use trace::{Sample, Series, TraceRecorder};

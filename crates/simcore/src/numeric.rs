@@ -1,0 +1,198 @@
+//! Branch-light, bit-exact replacements for the libm rounding calls.
+//!
+//! The default x86-64 target has no `roundsd`, so `f64::round` and
+//! `f64::floor` lower to out-of-line libm calls — measurable on the
+//! sensor-quantization hot path, where every reading rounds to the
+//! part's resolution. These helpers compute the *same value, same bits*
+//! (including signed zeros, ties, NaN and infinities) using the 2⁵²
+//! magic-number trick plus an explicit tie correction, and fall back to
+//! the libm call outside the exactly-representable range. Byte-identity
+//! of exports is load-bearing here: the V1 golden CRCs pin every rounded
+//! sensor reading, so these must never differ from std by even one ulp.
+
+/// 2⁵²: adding and subtracting this forces a round-to-nearest-even at
+/// integer resolution for magnitudes below [`EXACT_LIMIT`].
+const MAGIC: f64 = 4_503_599_627_370_496.0;
+
+/// Magnitudes at or above 2⁵¹ take the libm fallback: the magic-number
+/// sum needs headroom, and such values are integral anyway.
+const EXACT_LIMIT: f64 = 2_251_799_813_685_248.0;
+
+/// `x.round()` — nearest integer, ties away from zero — without the
+/// libm call for ordinary magnitudes.
+#[inline]
+#[must_use]
+pub fn fast_round(x: f64) -> f64 {
+    let a = x.abs();
+    if a >= EXACT_LIMIT || a.is_nan() {
+        // Huge, infinite, or NaN: defer to libm (all are no-ops there).
+        return x.round();
+    }
+    // |x| rounded, ties to even.
+    let r = (a + MAGIC) - MAGIC;
+    // Ties-to-even rounded a .5 *down* exactly when the residual is
+    // +0.5; push it up to match ties-away semantics on the magnitude.
+    let r = if a - r == 0.5 { r + 1.0 } else { r };
+    // copysign restores the sign bit, including -0.0 for -0.4 etc.
+    r.copysign(x)
+}
+
+/// `x.floor()` — largest integer not above `x` — without the libm call
+/// for ordinary magnitudes.
+#[inline]
+#[must_use]
+pub fn fast_floor(x: f64) -> f64 {
+    let a = x.abs();
+    if a >= EXACT_LIMIT || a.is_nan() {
+        return x.floor();
+    }
+    // Sign-split magic: the addend must dominate so the sum's ulp is 1.
+    let r = if x >= 0.0 {
+        (x + MAGIC) - MAGIC
+    } else {
+        (x - MAGIC) + MAGIC
+    };
+    let r = if r > x { r - 1.0 } else { r };
+    // floor(-0.0) is -0.0 and floor(0.2) is +0.0: only a zero result can
+    // disagree with x's sign, and then it must take it.
+    if r == 0.0 {
+        r.copysign(x)
+    } else {
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bits_eq(ours: f64, std: f64) -> bool {
+        ours.to_bits() == std.to_bits()
+    }
+
+    #[test]
+    fn round_matches_std_on_ties_zeros_and_ordinary_values() {
+        let cases = [
+            0.0,
+            -0.0,
+            0.3,
+            -0.3,
+            0.5,
+            -0.5,
+            1.5,
+            -1.5,
+            2.5,
+            -2.5,
+            3.5,
+            -3.5,
+            0.499_999_999,
+            1234.567,
+            -1234.567,
+            7.812_5e-3,
+            0.062_5,
+            1e15,
+            -1e15,
+        ];
+        for x in cases {
+            assert!(
+                bits_eq(fast_round(x), x.round()),
+                "round({x}) -> {} expected {}",
+                fast_round(x),
+                x.round()
+            );
+        }
+    }
+
+    #[test]
+    fn floor_matches_std_on_ties_zeros_and_ordinary_values() {
+        let cases = [
+            0.0,
+            -0.0,
+            0.2,
+            -0.2,
+            0.5,
+            -0.5,
+            1.0,
+            -1.0,
+            1.999_999_9,
+            -1.999_999_9,
+            2.5,
+            -2.5,
+            1234.567,
+            -1234.567,
+            1e15,
+            -1e15,
+        ];
+        for x in cases {
+            assert!(
+                bits_eq(fast_floor(x), x.floor()),
+                "floor({x}) -> {} expected {}",
+                fast_floor(x),
+                x.floor()
+            );
+        }
+    }
+
+    #[test]
+    fn non_finite_and_huge_inputs_fall_through_to_libm() {
+        for x in [
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::MAX,
+            f64::MIN,
+            EXACT_LIMIT,
+            -EXACT_LIMIT,
+            EXACT_LIMIT * 4.0,
+        ] {
+            if x.is_nan() {
+                assert!(fast_round(x).is_nan());
+                assert!(fast_floor(x).is_nan());
+            } else {
+                assert!(bits_eq(fast_round(x), x.round()), "round({x})");
+                assert!(bits_eq(fast_floor(x), x.floor()), "floor({x})");
+            }
+        }
+    }
+
+    #[test]
+    fn randomized_differential_sweep_against_std() {
+        // Deterministic xorshift sweep over mixed magnitudes, biased
+        // toward the sensor-quantization range and exact .5 ties.
+        let mut state = 0x9E37_79B9_7F4A_7C15_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for i in 0..200_000 {
+            let raw = next();
+            let x = match i % 4 {
+                // Typical sensor-read magnitudes.
+                0 => (raw % 100_000) as f64 / 137.0 - 300.0,
+                // Exact half-integer ties, both signs.
+                1 => ((raw % 20_001) as f64 - 10_000.0) + 0.5,
+                // Tiny values around the zero boundary.
+                2 => ((raw % 2_001) as f64 - 1_000.0) * 1e-6,
+                // Wide magnitudes up to ~1e18 (crosses the fallback).
+                _ => f64::from_bits((raw & 0x43FF_FFFF_FFFF_FFFF) | ((raw & 1) << 63)),
+            };
+            if x.is_nan() {
+                continue;
+            }
+            assert!(
+                bits_eq(fast_round(x), x.round()),
+                "round({x:?}) -> {:?} expected {:?}",
+                fast_round(x),
+                x.round()
+            );
+            assert!(
+                bits_eq(fast_floor(x), x.floor()),
+                "floor({x:?}) -> {:?} expected {:?}",
+                fast_floor(x),
+                x.floor()
+            );
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Statistical-equivalence suite for the versioned noise kernels.
+//!
+//! The byte-identity contract is *per noise version* (docs/PERFORMANCE.md):
+//! V1 and V2 emit different bit streams by design, so the cross-version
+//! guarantee is distributional, not bytewise. This suite is the evidence
+//! for that guarantee: both kernels must match the exact standard-normal
+//! law (moments + one-sample Kolmogorov–Smirnov against Φ) and each other
+//! (two-sample KS), with every check run on deterministic seeds so a
+//! failure is a real regression, never flake.
+
+use bz_simcore::{NoiseKernel, Rng};
+
+fn draw(kernel: NoiseKernel, seed: u64, n: usize) -> Vec<f64> {
+    let mut rng = Rng::seed_from(seed).with_kernel(kernel);
+    (0..n).map(|_| rng.standard_normal()).collect()
+}
+
+/// Abramowitz & Stegun 7.1.26 — |error| ≤ 1.5e-7, far below the KS
+/// tolerances used here.
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// Standard normal CDF Φ.
+fn phi(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+fn sorted(mut xs: Vec<f64>) -> Vec<f64> {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    xs
+}
+
+/// One-sample KS statistic against Φ.
+fn ks_against_normal(samples: &[f64]) -> f64 {
+    let n = samples.len() as f64;
+    let mut d = 0.0f64;
+    for (i, &x) in samples.iter().enumerate() {
+        let cdf = phi(x);
+        let hi = (i + 1) as f64 / n - cdf;
+        let lo = cdf - i as f64 / n;
+        d = d.max(hi).max(lo);
+    }
+    d
+}
+
+/// Two-sample KS statistic between two sorted samples.
+fn ks_two_sample(a: &[f64], b: &[f64]) -> f64 {
+    let (mut i, mut j) = (0usize, 0usize);
+    let (na, nb) = (a.len() as f64, b.len() as f64);
+    let mut d = 0.0f64;
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            i += 1;
+        } else {
+            j += 1;
+        }
+        d = d.max((i as f64 / na - j as f64 / nb).abs());
+    }
+    d
+}
+
+struct Moments {
+    mean: f64,
+    var: f64,
+    skew: f64,
+    excess_kurtosis: f64,
+}
+
+fn moments(samples: &[f64]) -> Moments {
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let mut m2 = 0.0;
+    let mut m3 = 0.0;
+    let mut m4 = 0.0;
+    for &x in samples {
+        let d = x - mean;
+        m2 += d * d;
+        m3 += d * d * d;
+        m4 += d * d * d * d;
+    }
+    m2 /= n;
+    m3 /= n;
+    m4 /= n;
+    Moments {
+        mean,
+        var: m2,
+        skew: m3 / m2.powf(1.5),
+        excess_kurtosis: m4 / (m2 * m2) - 3.0,
+    }
+}
+
+/// ~6-sigma envelopes for n = 200_000 samples of N(0, 1): wide enough to
+/// never flake on a fixed seed, tight enough that a wrong table or a
+/// mis-scaled magnitude fails immediately.
+fn assert_standard_moments(kernel: NoiseKernel, m: &Moments) {
+    assert!(m.mean.abs() < 0.014, "{kernel} mean {}", m.mean);
+    assert!((m.var - 1.0).abs() < 0.02, "{kernel} var {}", m.var);
+    assert!(m.skew.abs() < 0.035, "{kernel} skew {}", m.skew);
+    assert!(
+        m.excess_kurtosis.abs() < 0.07,
+        "{kernel} kurtosis {}",
+        m.excess_kurtosis
+    );
+}
+
+#[test]
+fn both_kernels_match_standard_normal_moments() {
+    for kernel in [NoiseKernel::V1, NoiseKernel::V2] {
+        for seed in [0xA11CE, 0xB0B, 0xC0FFEE] {
+            let samples = draw(kernel, seed, 200_000);
+            assert_standard_moments(kernel, &moments(&samples));
+        }
+    }
+}
+
+#[test]
+fn both_kernels_pass_ks_against_the_exact_normal_cdf() {
+    // alpha = 0.001 critical value for n = 100_000 is 1.95 / sqrt(n)
+    // ≈ 0.00617; allow a little headroom for the erf approximation.
+    for kernel in [NoiseKernel::V1, NoiseKernel::V2] {
+        for seed in [0x5EED_0001, 0xFEED] {
+            let samples = sorted(draw(kernel, seed, 100_000));
+            let d = ks_against_normal(&samples);
+            assert!(d < 0.0065, "{kernel} seed {seed:#x}: KS D = {d}");
+        }
+    }
+}
+
+#[test]
+fn v1_and_v2_are_distributionally_interchangeable() {
+    // Two-sample KS on disjoint seeds; alpha = 0.001 critical value for
+    // n = m = 100_000 is 1.95 * sqrt(2 / n) ≈ 0.0087.
+    let v1 = sorted(draw(NoiseKernel::V1, 0x1111, 100_000));
+    let v2 = sorted(draw(NoiseKernel::V2, 0x2222, 100_000));
+    let d = ks_two_sample(&v1, &v2);
+    assert!(d < 0.009, "V1 vs V2 KS D = {d}");
+}
+
+#[test]
+fn v2_tail_is_reachable_and_sane() {
+    let mut rng = Rng::seed_from(0x7A11).with_kernel(NoiseKernel::V2);
+    let mut max_abs = 0.0f64;
+    for _ in 0..1_000_000 {
+        max_abs = max_abs.max(rng.standard_normal().abs());
+    }
+    // Expected extreme of 1e6 normal draws is ~sqrt(2 ln n) ≈ 5.26; the
+    // ziggurat tail path must produce values beyond the base layer
+    // (3.442...) but nothing absurd.
+    assert!(max_abs > 4.0, "tail never reached: max |x| = {max_abs}");
+    assert!(max_abs < 8.0, "tail overshoots: max |x| = {max_abs}");
+}
+
+#[test]
+fn v2_emits_finite_symmetric_samples() {
+    let samples = draw(NoiseKernel::V2, 0x51DE, 200_000);
+    let negatives = samples.iter().filter(|x| **x < 0.0).count();
+    assert!(samples.iter().all(|x| x.is_finite()));
+    // Sign balance within a 6-sigma binomial envelope.
+    let n = samples.len() as f64;
+    let imbalance = (negatives as f64 - n / 2.0).abs();
+    assert!(imbalance < 6.0 * (n / 4.0).sqrt(), "imbalance {imbalance}");
+}

@@ -34,7 +34,11 @@ pub const MAGIC: [u8; 4] = *b"BZCK";
 /// Current envelope format version. Bump on any wire-format change; older
 /// readers reject newer files (and vice versa) with a clear error instead
 /// of misinterpreting bytes.
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// History: 1 — initial release; 2 — `Rng` payloads gained a noise-kernel
+/// tag (round-2 noise campaign), so v1 snapshots would misparse and are
+/// rejected/skipped instead.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Self-describing header stored ahead of the payload.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -12,7 +12,7 @@
 use bz_psychro::{
     water_volumetric_heat_capacity, Celsius, Joules, Percent, Ppm, Seconds, Volts, Watts,
 };
-use bz_simcore::{Rng, SimDuration, SimTime};
+use bz_simcore::{NoiseKernel, Rng, SimDuration, SimTime};
 
 use crate::airbox::{Airbox, AirboxCommand, AirboxParams, FanLevel};
 use crate::chiller::{ChillerConfig, TankChiller};
@@ -139,12 +139,18 @@ pub struct PlantConfig {
     pub initial_co2: f64,
     /// RNG seed for weather wander and sensor noise.
     pub seed: u64,
+    /// Which versioned normal sampler every plant RNG (weather wander,
+    /// sensor noise, fault perturbations) uses. Byte-identity of exports
+    /// is guaranteed *within* a version, not across versions; `V1`
+    /// reproduces all pre-seam exports. Defaults to the `BZ_NOISE`
+    /// environment variable (V2 when unset).
+    pub noise: NoiseKernel,
     /// Forces the scalar reference paths (per-zone stepping, full
-    /// two-channel sensor reads) instead of the batched/skipping fast
-    /// paths. Both produce bit-identical results — this switch exists so
-    /// the parity suites can prove it and so a suspicious run can be
-    /// re-executed on the original code path. Defaults to the
-    /// `BZ_SCALAR_REFERENCE` environment variable.
+    /// two-channel sensor reads, per-read psychrometrics) instead of the
+    /// batched/skipping fast paths. Both produce bit-identical results —
+    /// this switch exists so the parity suites can prove it and so a
+    /// suspicious run can be re-executed on the original code path.
+    /// Defaults to the `BZ_SCALAR_REFERENCE` environment variable.
     pub scalar_reference: bool,
 }
 
@@ -168,6 +174,7 @@ impl PlantConfig {
             initial_indoor: (Celsius::new(28.9), Celsius::new(27.4)),
             initial_co2: 520.0,
             seed: 0xB0BB_1E2E,
+            noise: NoiseKernel::from_env(),
             scalar_reference: scalar_reference_default(),
         }
     }
@@ -212,6 +219,14 @@ impl PlantConfig {
     #[must_use]
     pub fn with_scalar_reference(mut self, scalar_reference: bool) -> Self {
         self.scalar_reference = scalar_reference;
+        self
+    }
+
+    /// Same lab with the noise kernel pinned explicitly (see
+    /// [`PlantConfig::noise`]).
+    #[must_use]
+    pub fn with_noise(mut self, noise: NoiseKernel) -> Self {
+        self.noise = noise;
         self
     }
 }
@@ -264,6 +279,75 @@ impl Instruments {
     }
 }
 
+/// Which cached slot a coalesced psychrometric result lands in.
+#[derive(Debug, Clone, Copy)]
+enum ReadSlot {
+    /// Room RH for subspace `s`.
+    Room(usize),
+    /// Near-ceiling RH for `panel * 2 + half` (the three sensors under
+    /// one served subspace share the same blended air state, so one
+    /// evaluation serves all three).
+    Half(usize),
+    /// Airbox outlet RH for airbox `a`.
+    Outlet(usize),
+}
+
+/// Per-tick cache of the psychrometric *truth* values behind
+/// same-timestamp sensor reads.
+///
+/// Zone and outlet air states only change inside [`ThermalPlant::step`],
+/// so every sensor read between two steps sees the same underlying air —
+/// and the relative humidity behind those reads is a pure function of
+/// that air. [`ThermalPlant::coalesce_reads`] evaluates all of a tick's
+/// RH truths in one `bz_psychro` batch pass (deduplicating the shared
+/// near-ceiling states) and the read methods fan the results out. A read
+/// whose slot was not coalesced falls back to the identical scalar
+/// computation, so the cache can only change *cost*, never bytes. The
+/// scratch vectors are reused across ticks; the cache is derived state
+/// and is never checkpointed.
+#[derive(Debug, Clone, Default)]
+struct ReadPass {
+    /// Tick the cached values were computed for.
+    tick: Option<SimTime>,
+    room_rh: [Option<f64>; 4],
+    half_rh: [Option<f64>; 4],
+    outlet_rh: [Option<f64>; 4],
+    temps: Vec<f64>,
+    ratios: Vec<f64>,
+    rh: Vec<f64>,
+    slots: Vec<ReadSlot>,
+}
+
+impl ReadPass {
+    fn valid(&self, now: SimTime) -> bool {
+        self.tick == Some(now)
+    }
+
+    fn room(&self, now: SimTime, s: usize) -> Option<f64> {
+        if self.valid(now) {
+            self.room_rh[s]
+        } else {
+            None
+        }
+    }
+
+    fn half(&self, now: SimTime, h: usize) -> Option<f64> {
+        if self.valid(now) {
+            self.half_rh[h]
+        } else {
+            None
+        }
+    }
+
+    fn outlet(&self, now: SimTime, a: usize) -> Option<f64> {
+        if self.valid(now) {
+            self.outlet_rh[a]
+        } else {
+            None
+        }
+    }
+}
+
 /// State of one radiant mixing loop between steps.
 #[derive(Debug, Clone, Copy)]
 struct LoopState {
@@ -308,6 +392,9 @@ pub struct ThermalPlant {
     /// Latched output per (target, channel) for stuck-at faults: the first
     /// value read while the fault is active.
     stuck_latch: std::collections::BTreeMap<(SensorTarget, u8), f64>,
+    /// Per-tick coalesced psychrometrics for sensor reads (derived cache,
+    /// never persisted).
+    read_pass: ReadPass,
     obs: bz_obs::Handle,
 }
 
@@ -318,7 +405,7 @@ impl ThermalPlant {
     /// Builds the plant in its initial condition.
     #[must_use]
     pub fn new(config: PlantConfig) -> Self {
-        let mut rng = Rng::seed_from(config.seed);
+        let mut rng = Rng::seed_from(config.seed).with_kernel(config.noise);
         let mut weather = Weather::new(config.weather, rng.fork());
         let outdoor = weather.sample(SimTime::ZERO);
         let (t0, dew0) = config.initial_indoor;
@@ -360,6 +447,7 @@ impl ThermalPlant {
             last_zone_inputs: Default::default(),
             sensor_fault_rng,
             stuck_latch: std::collections::BTreeMap::new(),
+            read_pass: ReadPass::default(),
             obs: bz_obs::Handle::global(),
         }
     }
@@ -394,6 +482,8 @@ impl ThermalPlant {
         let step_span = self.obs.span("thermal.plant.step", self.now.as_millis());
         let dt_s = dt.as_secs_f64();
         self.now += dt;
+        // Zone/outlet air is about to change: drop the coalesced-read cache.
+        self.read_pass.tick = None;
         self.outdoor = self.weather.sample(self.now);
 
         // Physical actuators apply their faults regardless of commands.
@@ -693,6 +783,82 @@ impl ThermalPlant {
 
     // --- Sensor interface (what the control boards see) --------------------
 
+    /// Pre-computes, in one batched `bz_psychro` pass, the
+    /// relative-humidity truth values behind the sensor reads the caller
+    /// is about to issue at the current tick: `rooms[s]` marks the room
+    /// SHT75 of subspace `s`, `ceiling_halves[panel * 2 + half]` the
+    /// three ceiling SHT75s sharing one served subspace's near-ceiling
+    /// air, and `outlets[a]` the airbox outlet SHT75s. The tick driver
+    /// calls this once per drained event batch so ~14 scalar per-event
+    /// psychrometric evaluations collapse into a single pass over at most
+    /// 12 deduplicated states.
+    ///
+    /// Purely an evaluation-order change: each cached value is the exact
+    /// scalar computation the read would have performed, reads whose slot
+    /// was not requested fall back to that scalar computation, and the
+    /// scalar-reference path ignores the cache entirely — so exports are
+    /// byte-identical with or without coalescing.
+    pub fn coalesce_reads(
+        &mut self,
+        rooms: [bool; 4],
+        ceiling_halves: [bool; 4],
+        outlets: [bool; 4],
+    ) {
+        if self.config.scalar_reference {
+            return;
+        }
+        let pass = &mut self.read_pass;
+        pass.tick = Some(self.now);
+        pass.room_rh = [None; 4];
+        pass.half_rh = [None; 4];
+        pass.outlet_rh = [None; 4];
+        pass.temps.clear();
+        pass.ratios.clear();
+        pass.slots.clear();
+        for (s, requested) in rooms.iter().enumerate() {
+            if *requested {
+                let state = self.zones[s].state();
+                pass.temps.push(state.temperature.get());
+                pass.ratios.push(state.humidity_ratio.get());
+                pass.slots.push(ReadSlot::Room(s));
+            }
+        }
+        for (h, requested) in ceiling_halves.iter().enumerate() {
+            if *requested {
+                let (panel, half) = (h / 2, h % 2);
+                let state = self.zones[2 * panel + half].state();
+                let surface = self.panels[panel].surface_temperature();
+                // Must match the per-read blend in `read_ceiling_sensor_rh`
+                // operation for operation.
+                let near_t = 0.7 * state.temperature.get() + 0.3 * surface.get();
+                pass.temps.push(near_t);
+                pass.ratios.push(state.humidity_ratio.get());
+                pass.slots.push(ReadSlot::Half(h));
+            }
+        }
+        for (a, requested) in outlets.iter().enumerate() {
+            if *requested {
+                let state = self.outlet_states[a];
+                pass.temps.push(state.temperature.get());
+                pass.ratios.push(state.humidity_ratio.get());
+                pass.slots.push(ReadSlot::Outlet(a));
+            }
+        }
+        if pass.slots.is_empty() {
+            return;
+        }
+        pass.rh.clear();
+        pass.rh.resize(pass.slots.len(), 0.0);
+        bz_psychro::batch::relative_humidity_batch(&pass.temps, &pass.ratios, &mut pass.rh);
+        for (slot, &rh) in pass.slots.iter().zip(&pass.rh) {
+            match *slot {
+                ReadSlot::Room(s) => pass.room_rh[s] = Some(rh),
+                ReadSlot::Half(h) => pass.half_rh[h] = Some(rh),
+                ReadSlot::Outlet(a) => pass.outlet_rh[a] = Some(rh),
+            }
+        }
+    }
+
     /// True if `target` is dropped out (produces no reading) right now.
     /// Callers should skip sampling — and transmitting — a dropped-out
     /// element, the way a mote skips a sensor that stops answering.
@@ -726,8 +892,7 @@ impl ThermalPlant {
     pub fn read_room(&mut self, id: SubspaceId) -> (Celsius, Percent) {
         let state = self.zones[id.index()].state();
         let sensor = &mut self.instruments.room[id.index()];
-        let t = sensor.read_temp(state.temperature);
-        let rh = sensor.read_rh(state.relative_humidity());
+        let (t, rh) = sensor.read_pair(state.temperature, state.relative_humidity());
         let target = SensorTarget::Room(id.index());
         (
             Celsius::new(self.faulted(target, 0, t.get())),
@@ -754,8 +919,7 @@ impl ThermalPlant {
                 ..state
             };
             let sensor = &mut self.instruments.ceiling[panel * 6 + k];
-            let t = sensor.read_temp(near.temperature);
-            let rh = sensor.read_rh(near.relative_humidity());
+            let (t, rh) = sensor.read_pair(near.temperature, near.relative_humidity());
             let target = SensorTarget::Ceiling(panel * 6 + k);
             readings.push((
                 Celsius::new(self.faulted(target, 0, t.get())),
@@ -777,8 +941,7 @@ impl ThermalPlant {
             ..state
         };
         let sensor = &mut self.instruments.ceiling[panel * 6 + k];
-        let t = sensor.read_temp(near.temperature);
-        let rh = sensor.read_rh(near.relative_humidity());
+        let (t, rh) = sensor.read_pair(near.temperature, near.relative_humidity());
         let target = SensorTarget::Ceiling(panel * 6 + k);
         (
             Celsius::new(self.faulted(target, 0, t.get())),
@@ -812,10 +975,13 @@ impl ThermalPlant {
         if self.config.scalar_reference || self.config.sensor_faults.ever_targets(target) {
             return self.read_room(id).1;
         }
-        let state = self.zones[id.index()].state();
+        let truth = match self.read_pass.room(self.now, id.index()) {
+            Some(rh) => Percent::new(rh),
+            None => self.zones[id.index()].state().relative_humidity(),
+        };
         let sensor = &mut self.instruments.room[id.index()];
         sensor.skip_temp();
-        sensor.read_rh(state.relative_humidity())
+        sensor.read_rh(truth)
     }
 
     /// Temperature channel of one ceiling SHT75 only (see
@@ -842,17 +1008,23 @@ impl ThermalPlant {
         if self.config.scalar_reference || self.config.sensor_faults.ever_targets(target) {
             return self.read_ceiling_sensor(panel, k).1;
         }
-        let surface = self.panels[panel].surface_temperature();
-        let zone_idx = 2 * panel + (k / 3);
-        let state = self.zones[zone_idx].state();
-        let near_t = 0.7 * state.temperature.get() + 0.3 * surface.get();
-        let near = AirState {
-            temperature: Celsius::new(near_t),
-            ..state
+        let truth = match self.read_pass.half(self.now, panel * 2 + k / 3) {
+            Some(rh) => Percent::new(rh),
+            None => {
+                let surface = self.panels[panel].surface_temperature();
+                let zone_idx = 2 * panel + (k / 3);
+                let state = self.zones[zone_idx].state();
+                let near_t = 0.7 * state.temperature.get() + 0.3 * surface.get();
+                let near = AirState {
+                    temperature: Celsius::new(near_t),
+                    ..state
+                };
+                near.relative_humidity()
+            }
         };
         let sensor = &mut self.instruments.ceiling[panel * 6 + k];
         sensor.skip_temp();
-        sensor.read_rh(near.relative_humidity())
+        sensor.read_rh(truth)
     }
 
     /// ADT7410 reading of the mixed-water temperature for a panel loop.
@@ -897,9 +1069,12 @@ impl ThermalPlant {
     /// SHT75 reading at an airbox outlet: (temperature, RH).
     pub fn read_airbox_outlet(&mut self, airbox: usize) -> (Celsius, Percent) {
         let state = self.outlet_states[airbox];
+        let truth_rh = match self.read_pass.outlet(self.now, airbox) {
+            Some(rh) => Percent::new(rh),
+            None => state.relative_humidity(),
+        };
         let sensor = &mut self.instruments.outlet[airbox];
-        let t = sensor.read_temp(state.temperature);
-        let rh = sensor.read_rh(state.relative_humidity());
+        let (t, rh) = sensor.read_pair(state.temperature, truth_rh);
         let target = SensorTarget::Outlet(airbox);
         (
             Celsius::new(self.faulted(target, 0, t.get())),
@@ -1044,6 +1219,8 @@ impl ThermalPlant {
         self.last_zone_inputs = Persist::load(r)?;
         self.sensor_fault_rng = Persist::load(r)?;
         self.stuck_latch = Persist::load(r)?;
+        // Derived cache: recomputed on demand, never restored.
+        self.read_pass = ReadPass::default();
         Ok(())
     }
 }

@@ -8,11 +8,11 @@
 //! per-reading noise, then quantizes to the part's resolution.
 
 use bz_psychro::{Celsius, Percent, Ppm};
-use bz_simcore::{Rng, SimTime};
+use bz_simcore::{fast_floor, fast_round, Rng, SimTime};
 
 /// Quantizes `value` to steps of `step`.
 fn quantize(value: f64, step: f64) -> f64 {
-    (value / step).round() * step
+    fast_round(value / step) * step
 }
 
 /// An ADT7410 digital temperature sensor (embedded in water pipes and on
@@ -101,6 +101,22 @@ impl HumiditySensor {
         Celsius::new(quantize(raw, Self::TEMP_RESOLUTION))
     }
 
+    /// Reads both channels in one fused poll — bit-identical to
+    /// [`read_temp`](Self::read_temp) followed by
+    /// [`read_rh`](Self::read_rh), but the sibling noise draws go through
+    /// the sampler together (one `normal_pair` call instead of two
+    /// independent dispatches), which is how the dual-channel SHT75 is
+    /// actually polled.
+    pub fn read_pair(&mut self, t_truth: Celsius, rh_truth: Percent) -> (Celsius, Percent) {
+        let (t_noise, rh_noise) = self.rng.normal_pair((0.0, 0.008), (0.0, 0.25));
+        let t_raw = t_truth.get() + self.temp_bias + t_noise;
+        let rh_raw = rh_truth.get() + self.rh_bias + rh_noise;
+        (
+            Celsius::new(quantize(t_raw, Self::TEMP_RESOLUTION)),
+            Percent::new(quantize(rh_raw, Self::RH_RESOLUTION).clamp(0.0, 100.0)),
+        )
+    }
+
     /// Advances the sensor's noise stream exactly as one discarded
     /// [`read_rh`](Self::read_rh) would, without computing the reading.
     ///
@@ -181,7 +197,7 @@ impl FlowSensor {
         let liters = truth_m3s * 1_000.0 * self.gate_s * self.gain;
         let expected = liters * self.pulses_per_liter;
         // Partial pulses show up probabilistically at the gate edges.
-        let whole = expected.floor();
+        let whole = fast_floor(expected);
         let frac = expected - whole;
         whole as u64 + u64::from(self.rng.chance(frac))
     }
@@ -583,6 +599,24 @@ mod tests {
                 skipping.skip_temp();
                 let b = skipping.read_rh(rh);
                 assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn pair_read_is_bit_identical_to_sequential_channel_reads() {
+        use bz_simcore::NoiseKernel;
+        for kernel in [NoiseKernel::V1, NoiseKernel::V2] {
+            let mut r1 = Rng::seed_from(12).with_kernel(kernel);
+            let mut r2 = Rng::seed_from(12).with_kernel(kernel);
+            let mut sequential = HumiditySensor::new(&mut r1);
+            let mut paired = HumiditySensor::new(&mut r2);
+            for i in 0..200 {
+                let t = Celsius::new(23.0 + f64::from(i) * 0.01);
+                let rh = Percent::new(55.0 + f64::from(i) * 0.05);
+                let a = (sequential.read_temp(t), sequential.read_rh(rh));
+                let b = paired.read_pair(t, rh);
+                assert_eq!(a, b, "{kernel} poll {i}");
             }
         }
     }

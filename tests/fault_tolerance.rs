@@ -3,14 +3,22 @@
 //! the paper's decomposed, distributed control.
 
 use bubblezero::core::system::{BubbleZeroSystem, SystemConfig};
-use bubblezero::simcore::SimTime;
+use bubblezero::simcore::{NoiseKernel, SimTime};
 use bubblezero::thermal::airbox::FanLevel;
 use bubblezero::thermal::faults::{ActuatorFault, FaultEvent, FaultSchedule};
 use bubblezero::thermal::plant::PlantConfig;
 use bubblezero::thermal::zone::SubspaceId;
 
 fn system_with_faults(faults: Vec<FaultEvent>) -> BubbleZeroSystem {
-    let plant = PlantConfig::bubble_zero_lab().with_faults(FaultSchedule::new(faults));
+    // These tests assert numeric envelopes of one specific realized
+    // trajectory (the moisture load is stochastic and bimodal across
+    // seeds: some realizations never load the coil enough for its death
+    // to show). Pin the noise kernel the thresholds were captured under
+    // so the controlled experiment stays controlled; the fault physics
+    // itself is kernel-independent.
+    let plant = PlantConfig::bubble_zero_lab()
+        .with_noise(NoiseKernel::V1)
+        .with_faults(FaultSchedule::new(faults));
     BubbleZeroSystem::new(SystemConfig::paper_deployment(plant))
 }
 
@@ -106,6 +114,7 @@ fn repaired_fault_recovers_the_subspace() {
     use bubblezero::simcore::SimDuration;
     use bubblezero::thermal::disturbance::{DisturbanceSchedule, OpeningEvent, OpeningKind};
     let plant = PlantConfig::bubble_zero_lab()
+        .with_noise(NoiseKernel::V1)
         .with_faults(FaultSchedule::new(vec![FaultEvent {
             at: SimTime::from_mins(40),
             repaired_at: Some(SimTime::from_mins(80)),
