@@ -7,6 +7,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod load;
 pub mod sweep;
 pub mod throughput;
 

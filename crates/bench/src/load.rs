@@ -1,0 +1,187 @@
+//! Latency accounting for the `bzctl loadgen` control-plane load test.
+//!
+//! The wire-driving loop lives in `bz-serve` (this crate is below it in
+//! the dependency graph); what lives here is the measurement half: raw
+//! nanosecond samples in, percentile summary and the `BENCH_0010.json`
+//! record out, next to the throughput benchmark's `BENCH_0009.json`.
+
+use std::fmt::Write as _;
+
+/// Default path of the load-test bench record.
+pub const DEFAULT_JSON_OUT: &str = "BENCH_0010.json";
+
+/// Percentile summary over a set of request latencies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Mean latency, microseconds.
+    pub mean_us: f64,
+    /// Median latency, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_us: f64,
+    /// 99.9th-percentile latency, microseconds.
+    pub p999_us: f64,
+    /// Worst observed latency, microseconds.
+    pub max_us: f64,
+}
+
+/// Summarizes raw nanosecond latency samples (sorts in place).
+///
+/// Percentiles use the nearest-rank method: `p` maps to the sample at
+/// rank `ceil(p/100 · n)`, so every reported value is one that actually
+/// occurred.
+#[must_use]
+pub fn summarize(samples: &mut [u64]) -> LatencySummary {
+    if samples.is_empty() {
+        return LatencySummary {
+            count: 0,
+            mean_us: 0.0,
+            p50_us: 0.0,
+            p99_us: 0.0,
+            p999_us: 0.0,
+            max_us: 0.0,
+        };
+    }
+    samples.sort_unstable();
+    let n = samples.len();
+    let rank = |p: f64| -> f64 {
+        // The epsilon absorbs FP noise: 99.9/100·1000 must rank 999, not
+        // drift to 999.0000000000001 and ceil to 1000.
+        let idx = ((p / 100.0 * n as f64 - 1e-9).ceil() as usize).clamp(1, n) - 1;
+        samples[idx] as f64 / 1_000.0
+    };
+    let sum: u128 = samples.iter().map(|&s| u128::from(s)).sum();
+    LatencySummary {
+        count: n,
+        mean_us: sum as f64 / n as f64 / 1_000.0,
+        p50_us: rank(50.0),
+        p99_us: rank(99.0),
+        p999_us: rank(99.9),
+        max_us: samples[n - 1] as f64 / 1_000.0,
+    }
+}
+
+/// One completed load-test run against a `bzctl serve` instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadReport {
+    /// Tenants created and driven.
+    pub tenants: usize,
+    /// Closed-loop client connections.
+    pub connections: usize,
+    /// Simulated minutes each tenant was advanced.
+    pub minutes_per_tenant: u64,
+    /// Total requests that received a response (any status).
+    pub requests: u64,
+    /// Requests shed by the server with 429.
+    pub shed: u64,
+    /// Wall-clock seconds of the driving phase.
+    pub wall_seconds: f64,
+    /// Requests per wall-second over the driving phase.
+    pub requests_per_second: f64,
+    /// Total simulated minutes advanced across all tenants.
+    pub sim_minutes: u64,
+    /// Latency summary over the driving phase's requests.
+    pub latency: LatencySummary,
+}
+
+impl LoadReport {
+    /// The human-readable result block `bzctl loadgen` prints.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "loadgen: {} tenants x {} min over {} connections",
+            self.tenants, self.minutes_per_tenant, self.connections
+        );
+        let _ = writeln!(
+            out,
+            "  {} requests in {:.2}s = {:.0} req/s ({} shed)",
+            self.requests, self.wall_seconds, self.requests_per_second, self.shed
+        );
+        let _ = writeln!(
+            out,
+            "  latency p50 {:.0}us  p99 {:.0}us  p99.9 {:.0}us  max {:.0}us",
+            self.latency.p50_us, self.latency.p99_us, self.latency.p999_us, self.latency.max_us
+        );
+        let _ = writeln!(out, "  {} simulated minutes advanced", self.sim_minutes);
+        out
+    }
+
+    /// The `BENCH_0010.json` record.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"bench\": \"serve-loadgen\",\n  \"tenants\": {},\n  \
+             \"connections\": {},\n  \"minutes_per_tenant\": {},\n  \
+             \"requests\": {},\n  \"shed\": {},\n  \"wall_seconds\": {:.3},\n  \
+             \"requests_per_second\": {:.1},\n  \"sim_minutes\": {},\n  \
+             \"latency_p50_us\": {:.1},\n  \"latency_p99_us\": {:.1},\n  \
+             \"latency_p999_us\": {:.1},\n  \"latency_max_us\": {:.1}\n}}\n",
+            self.tenants,
+            self.connections,
+            self.minutes_per_tenant,
+            self.requests,
+            self.shed,
+            self.wall_seconds,
+            self.requests_per_second,
+            self.sim_minutes,
+            self.latency.p50_us,
+            self.latency.p99_us,
+            self.latency.p999_us,
+            self.latency.max_us,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summarize_reports_nearest_rank_percentiles() {
+        // 1..=1000 microseconds, as nanoseconds.
+        let mut samples: Vec<u64> = (1..=1000u64).map(|us| us * 1_000).collect();
+        let summary = summarize(&mut samples);
+        assert_eq!(summary.count, 1000);
+        assert!((summary.p50_us - 500.0).abs() < 1e-9);
+        assert!((summary.p99_us - 990.0).abs() < 1e-9);
+        assert!((summary.p999_us - 999.0).abs() < 1e-9);
+        assert!((summary.max_us - 1000.0).abs() < 1e-9);
+        assert!((summary.mean_us - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summarize_handles_tiny_and_empty_sets() {
+        assert_eq!(summarize(&mut []).count, 0);
+        let mut one = vec![5_000u64];
+        let summary = summarize(&mut one);
+        assert!((summary.p50_us - 5.0).abs() < 1e-9);
+        assert!((summary.p999_us - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_renders_summary_and_json() {
+        let mut samples: Vec<u64> = (1..=100u64).map(|us| us * 1_000).collect();
+        let report = LoadReport {
+            tenants: 1000,
+            connections: 16,
+            minutes_per_tenant: 2,
+            requests: 3000,
+            shed: 7,
+            wall_seconds: 1.5,
+            requests_per_second: 2000.0,
+            sim_minutes: 2000,
+            latency: summarize(&mut samples),
+        };
+        let text = report.summary();
+        assert!(text.contains("1000 tenants x 2 min"), "{text}");
+        assert!(text.contains("2000 req/s (7 shed)"), "{text}");
+        let json = report.to_json();
+        assert!(json.contains("\"bench\": \"serve-loadgen\""), "{json}");
+        assert!(json.contains("\"latency_p99_us\": 99.0"), "{json}");
+        assert!(json.ends_with("}\n"), "{json}");
+    }
+}

@@ -360,7 +360,15 @@ fn apply_params(config: &mut SystemConfig, params: &GridPoint, minutes: u64) -> 
     Ok(())
 }
 
-fn build_system(spec: &RunSpec, obs: bz_obs::Handle) -> Result<BubbleZeroSystem, String> {
+/// Builds the closed-loop system for one run spec, recording into `obs`.
+/// This is the single construction recipe shared by the sweep executor
+/// and the `bzctl serve` tenant factory, so a tenant driven over the
+/// wire is the same simulation as the offline run.
+///
+/// # Errors
+///
+/// Returns a message for invalid grid parameters.
+pub fn build_system(spec: &RunSpec, obs: bz_obs::Handle) -> Result<BubbleZeroSystem, String> {
     let plant_seed = spec.seed ^ 0x9E37;
     let plant = match spec.scenario {
         Scenario::Trial => PlantConfig::bubble_zero_lab()

@@ -15,6 +15,7 @@
 //! being restored into another, and the periodic atomic writes. See
 //! `docs/CHECKPOINTS.md` for the on-disk format and guarantees.
 
+use std::fs;
 use std::path::PathBuf;
 
 use crate::args::{ArgError, Args};
@@ -192,6 +193,22 @@ impl Session {
             )));
         }
         if checkpoint.meta.config_crc != self.config_crc {
+            // A label differing ONLY in its noise= token is the versioned
+            // noise-kernel case; name both versions and the fix instead of
+            // the generic configuration message.
+            let stored_noise = noise_token(&checkpoint.meta.label);
+            let our_noise = noise_token(&self.label);
+            if stored_noise != our_noise
+                && without_noise(&checkpoint.meta.label) == without_noise(&self.label)
+            {
+                let stored = stored_noise.unwrap_or("unrecorded");
+                return Err(ArgError::new(format!(
+                    "checkpoint {} was written under noise kernel {stored}, but this run \
+                     uses {}; set BZ_NOISE={stored} to resume it (see docs/CHECKPOINTS.md)",
+                    path.display(),
+                    our_noise.unwrap_or("unrecorded"),
+                )));
+            }
             return Err(ArgError::new(format!(
                 "checkpoint {} was written under a different configuration ('{}', not '{}'); \
                  refusing to resume",
@@ -275,14 +292,30 @@ pub fn inspect(path: &str) -> Result<String, ArgError> {
     let path = PathBuf::from(path);
     if path.is_dir() {
         let dir = CheckpointDir::open(&path);
-        let files = dir
+        let mut files: Vec<PathBuf> = dir
             .list()
-            .map_err(|e| ArgError::new(format!("cannot list {}: {e}", path.display())))?;
+            .map_err(|e| ArgError::new(format!("cannot list {}: {e}", path.display())))?
+            .into_iter()
+            .map(|(_, file)| file)
+            .collect();
+        // The serve layer's final checkpoints are named by tenant
+        // (`tenant-<name>.bzck`) rather than by tick; fold in every
+        // other .bzck file so one inspect covers both layouts.
+        let mut extra: Vec<PathBuf> = fs::read_dir(&path)
+            .map_err(|e| ArgError::new(format!("cannot list {}: {e}", path.display())))?
+            .filter_map(|entry| {
+                let file = entry.ok()?.path();
+                let is_bzck = file.extension().is_some_and(|ext| ext == "bzck");
+                (is_bzck && CheckpointDir::tick_of(&file).is_none()).then_some(file)
+            })
+            .collect();
+        extra.sort();
+        files.extend(extra);
         if files.is_empty() {
             return Ok(format!("{}: no checkpoints\n", path.display()));
         }
         let mut out = String::new();
-        for (_, file) in files {
+        for file in files {
             match Checkpoint::read(&file) {
                 Ok(checkpoint) => out.push_str(&format!(
                     "{}: ok  {}\n",
@@ -305,13 +338,31 @@ pub fn inspect(path: &str) -> Result<String, ArgError> {
 
 fn describe(checkpoint: &Checkpoint) -> String {
     format!(
-        "kind={} t={}s config_crc={:016x} label='{}' payload={} bytes",
+        "kind={} t={}s noise={} config_crc={:016x} label='{}' payload={} bytes",
         checkpoint.meta.kind,
         checkpoint.meta.tick_ms / 1_000,
+        noise_token(&checkpoint.meta.label).unwrap_or("unrecorded"),
         checkpoint.meta.config_crc,
         checkpoint.meta.label,
         checkpoint.payload.len()
     )
+}
+
+/// Extracts the `noise=<version>` token from an identity label.
+fn noise_token(label: &str) -> Option<&str> {
+    label
+        .split_whitespace()
+        .find_map(|token| token.strip_prefix("noise="))
+}
+
+/// The identity label with its `noise=` token removed, for deciding
+/// whether two identities differ only in the noise-kernel version.
+fn without_noise(label: &str) -> String {
+    label
+        .split_whitespace()
+        .filter(|token| !token.starts_with("noise="))
+        .collect::<Vec<_>>()
+        .join(" ")
 }
 
 #[cfg(test)]
@@ -434,6 +485,79 @@ mod tests {
     }
 
     #[test]
+    fn noise_only_mismatch_names_both_kernel_versions() {
+        let root = scratch("noise");
+        let opts = CheckpointOpts {
+            dir: Some(root.clone()),
+            every_s: Some(60),
+            resume: true,
+            ..CheckpointOpts::default()
+        };
+        let mut session = opts
+            .session("trial", "trial seed=1 minutes=5 noise=v1")
+            .unwrap()
+            .unwrap();
+        session.after_step(60_000, |w| w.put_u64(1)).unwrap();
+
+        let mut other_noise = opts
+            .session("trial", "trial seed=1 minutes=5 noise=v2")
+            .unwrap()
+            .unwrap();
+        let err = other_noise.resume(|_| Ok(())).unwrap_err().to_string();
+        assert!(err.contains("noise kernel v1"), "{err}");
+        assert!(err.contains("uses v2"), "{err}");
+        assert!(err.contains("BZ_NOISE=v1"), "{err}");
+        assert!(
+            !err.contains("different configuration"),
+            "the noise case must replace the generic message: {err}"
+        );
+
+        // A mismatch beyond the noise token keeps the generic message.
+        let mut other_seed = opts
+            .session("trial", "trial seed=2 minutes=5 noise=v2")
+            .unwrap()
+            .unwrap();
+        let err = other_seed.resume(|_| Ok(())).unwrap_err().to_string();
+        assert!(err.contains("different configuration"), "{err}");
+    }
+
+    #[test]
+    fn inspect_reports_the_noise_kernel_version() {
+        let root = scratch("inspect-noise");
+        let opts = CheckpointOpts {
+            dir: Some(root.clone()),
+            every_s: Some(60),
+            ..CheckpointOpts::default()
+        };
+        let mut session = opts
+            .session("trial", "trial seed=9 minutes=5 noise=v2")
+            .unwrap()
+            .unwrap();
+        session.after_step(60_000, |w| w.put_u64(1)).unwrap();
+        let report = inspect(root.to_str().unwrap()).unwrap();
+        assert!(report.contains("noise=v2"), "{report}");
+
+        let legacy_root = scratch("inspect-legacy");
+        let mut legacy = CheckpointOpts {
+            dir: Some(legacy_root.clone()),
+            every_s: Some(60),
+            ..CheckpointOpts::default()
+        }
+        .session("trial", "seed=9")
+        .unwrap()
+        .unwrap();
+        legacy.after_step(60_000, |w| w.put_u64(1)).unwrap();
+        let report = inspect(
+            CheckpointDir::open(&legacy_root)
+                .file_for_tick(60_000)
+                .to_str()
+                .unwrap(),
+        )
+        .unwrap();
+        assert!(report.contains("noise=unrecorded"), "{report}");
+    }
+
+    #[test]
     fn crash_injection_fires_after_the_due_snapshot() {
         let root = scratch("crash");
         let opts = CheckpointOpts {
@@ -478,5 +602,27 @@ mod tests {
         .unwrap();
         assert!(single.contains("t=60s"), "{single}");
         assert!(inspect("/nonexistent/path.bzck").is_err());
+    }
+
+    #[test]
+    fn inspect_lists_tenant_named_serve_checkpoints() {
+        let root = scratch("inspect-serve");
+        std::fs::create_dir_all(&root).unwrap();
+        let checkpoint = Checkpoint {
+            meta: CheckpointMeta {
+                kind: "serve".to_owned(),
+                tick_ms: 120_000,
+                config_crc: 7,
+                label: "serve trial-s0007 minutes=5 noise=v2".to_owned(),
+            },
+            payload: vec![1, 2, 3],
+        };
+        checkpoint
+            .write_atomic(&root.join("tenant-b-001.bzck"))
+            .unwrap();
+        let report = inspect(root.to_str().unwrap()).unwrap();
+        assert!(report.contains("tenant-b-001.bzck"), "{report}");
+        assert!(report.contains("kind=serve"), "{report}");
+        assert!(report.contains("noise=v2"), "{report}");
     }
 }

@@ -72,6 +72,19 @@ COMMANDS:
                  --horizon N (15)  --compare  --jobs N (1)
                  --metrics-out PATH  --flamegraph-out PATH  --quiet
                  [checkpoint flags]
+    serve      multi-tenant control-plane service (docs/SERVE.md)
+                 --addr A (127.0.0.1:7033)  --threads N (8)
+                 --max-inflight N (4)  --checkpoint-dir DIR  --quiet
+                 SIGINT/SIGTERM or POST /admin/shutdown drains and
+                 checkpoints every tenant before exiting
+    loadgen    closed-loop load test against a running serve
+                 --addr A (127.0.0.1:7033)  --tenants N (1000)
+                 --connections N (16)  --minutes N (2)  --seed-base S
+                 --step-minutes N (1)  --json-out PATH (BENCH_0010.json)
+                 --check --min-rps F --max-p99-ms F
+                 --mirror --seed S --minutes N --metrics-out PATH
+                   (drive ONE tenant over the wire and download its
+                    JSONL export for byte-comparison against trial)
     checkpoint  inspect snapshot files or directories
                  inspect PATH  (file or --checkpoint-dir directory)
     help       print this text
@@ -128,6 +141,8 @@ pub fn run(command: &str, raw: Vec<String>) -> Result<String, ArgError> {
         "sweep" => sweep(&args),
         "chaos" => chaos(&args),
         "mpc" => mpc(&args),
+        "serve" => serve(&args),
+        "loadgen" => loadgen(&args),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
         other => Err(ArgError::new(format!(
             "unknown command '{other}'\n\n{USAGE}"
@@ -920,6 +935,137 @@ fn bench(raw: Vec<String>) -> Result<String, ArgError> {
     Ok(out)
 }
 
+/// `bzctl serve`: runs the multi-tenant control-plane service until a
+/// signal or `POST /admin/shutdown` drains it (see docs/SERVE.md). The
+/// returned text is the post-drain summary; while running, the service
+/// prints its bound address unless `--quiet`.
+fn serve(args: &Args) -> Result<String, ArgError> {
+    args.expect_only(&["addr", "threads", "max-inflight", "checkpoint-dir", "quiet"])?;
+    let threads: usize = args.get_or("threads", 8)?;
+    if threads == 0 {
+        return Err(ArgError::new("--threads must be positive"));
+    }
+    let config = bz_serve::ServeConfig {
+        addr: args.get("addr").unwrap_or("127.0.0.1:7033").to_owned(),
+        threads,
+        max_inflight: args.get_or("max-inflight", 4)?,
+        checkpoint_dir: args.get("checkpoint-dir").map(std::path::PathBuf::from),
+        quiet: args.flag("quiet"),
+    };
+    bz_serve::server::install_signal_handlers();
+    let server = bz_serve::Server::bind(config)
+        .map_err(|e| ArgError::new(format!("cannot bind the listener: {e}")))?;
+    let report = server
+        .run()
+        .map_err(|e| ArgError::new(format!("serve failed: {e}")))?;
+    let mut out = format!(
+        "serve drained: {} tenants, {} requests served, {} shed\n",
+        report.tenants, report.requests, report.shed
+    );
+    for path in &report.checkpoints {
+        out += &format!("final checkpoint written to {}\n", path.display());
+    }
+    Ok(out)
+}
+
+/// `bzctl loadgen`: drives a running `bzctl serve` instance. The default
+/// mode is the closed-loop load test (tenant fleet + latency
+/// percentiles + `BENCH_0010.json`); `--mirror` instead drives one
+/// tenant to completion and downloads its JSONL export so CI can diff
+/// it byte-for-byte against `bzctl trial --metrics-out`.
+fn loadgen(args: &Args) -> Result<String, ArgError> {
+    args.expect_only(&[
+        "addr",
+        "tenants",
+        "connections",
+        "minutes",
+        "seed-base",
+        "step-minutes",
+        "json-out",
+        "check",
+        "min-rps",
+        "max-p99-ms",
+        "mirror",
+        "seed",
+        "metrics-out",
+    ])?;
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7033").to_owned();
+
+    if args.flag("mirror") {
+        let seed: u64 = args.get_or("seed", 0x5EED_0001)?;
+        let minutes: u64 = args.get_or("minutes", 5)?;
+        if minutes == 0 {
+            return Err(ArgError::new("--minutes must be positive"));
+        }
+        let Some(path) = args.get("metrics-out") else {
+            return Err(ArgError::new("--mirror needs --metrics-out PATH"));
+        };
+        let name = format!("mirror-s{seed}-m{minutes}");
+        let bytes = bz_serve::load::mirror(&addr, seed, minutes, &name)
+            .map_err(|e| ArgError::new(format!("mirror run failed: {e}")))?;
+        std::fs::write(path, &bytes)
+            .map_err(|e| ArgError::new(format!("cannot write {path}: {e}")))?;
+        return Ok(format!(
+            "mirror tenant '{name}' driven to completion over the wire\n\
+             wire export written to {path} ({} bytes)\n",
+            bytes.len()
+        ));
+    }
+
+    let tenants: usize = args.get_or("tenants", 1_000)?;
+    let minutes: u64 = args.get_or("minutes", 2)?;
+    if tenants == 0 || minutes == 0 {
+        return Err(ArgError::new("--tenants and --minutes must be positive"));
+    }
+    let check = args.flag("check");
+    let min_rps: f64 = args.get_or("min-rps", 0.0)?;
+    let max_p99_ms: f64 = args.get_or("max-p99-ms", 0.0)?;
+    if check && min_rps <= 0.0 && max_p99_ms <= 0.0 {
+        return Err(ArgError::new(
+            "--check needs --min-rps F and/or --max-p99-ms F",
+        ));
+    }
+    let config = bz_serve::load::LoadgenConfig {
+        addr,
+        tenants,
+        connections: args.get_or("connections", 16)?,
+        minutes_per_tenant: minutes,
+        seed_base: args.get_or("seed-base", 0x10AD_0001)?,
+        step_minutes: args.get_or("step-minutes", 1)?,
+    };
+    let report =
+        bz_serve::load::run(&config).map_err(|e| ArgError::new(format!("loadgen failed: {e}")))?;
+    let mut out = report.summary();
+    let json_out = match args.get("json-out") {
+        Some(path) => Some(path.to_owned()),
+        None if args.flag("json-out") => {
+            return Err(ArgError::new("flag --json-out needs a value"))
+        }
+        None => Some(bz_bench::load::DEFAULT_JSON_OUT.to_owned()),
+    };
+    if let Some(path) = &json_out {
+        std::fs::write(path, report.to_json())
+            .map_err(|e| ArgError::new(format!("cannot write {path}: {e}")))?;
+        out += &format!("bench record written to {path}\n");
+    }
+    if check {
+        if min_rps > 0.0 && report.requests_per_second < min_rps {
+            return Err(ArgError::new(format!(
+                "loadgen regression: {:.0} req/s is below the floor {min_rps:.0}",
+                report.requests_per_second
+            )));
+        }
+        if max_p99_ms > 0.0 && report.latency.p99_us > max_p99_ms * 1_000.0 {
+            return Err(ArgError::new(format!(
+                "loadgen regression: p99 {:.2}ms is above the ceiling {max_p99_ms:.2}ms",
+                report.latency.p99_us / 1_000.0
+            )));
+        }
+        out += "check passed\n";
+    }
+    Ok(out)
+}
+
 /// `bzctl checkpoint inspect PATH`: prints the metadata of one snapshot
 /// file, or the per-file status (including corruption diagnostics) of a
 /// whole checkpoint directory.
@@ -1185,6 +1331,97 @@ mod tests {
     fn trial_runs_short() {
         let out = run_ok("trial", &["--minutes", "3", "--quiet"]);
         assert!(out.contains("final:"));
+    }
+
+    #[test]
+    fn serve_and_loadgen_round_trip() {
+        let server = bz_serve::Server::bind(bz_serve::ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            quiet: true,
+            ..bz_serve::ServeConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr().to_string();
+        let handle = server.shutdown_handle();
+        let thread = std::thread::spawn(move || server.run());
+
+        let dir = std::env::temp_dir().join("bzctl-loadgen");
+        std::fs::create_dir_all(&dir).unwrap();
+        let json = dir.join("BENCH_0010.json");
+        let out = run_ok(
+            "loadgen",
+            &[
+                "--addr",
+                &addr,
+                "--tenants",
+                "6",
+                "--connections",
+                "2",
+                "--minutes",
+                "1",
+                "--json-out",
+                json.to_str().unwrap(),
+                "--check",
+                "--min-rps",
+                "1",
+            ],
+        );
+        assert!(out.contains("req/s"), "{out}");
+        assert!(out.contains("check passed"), "{out}");
+        let record = std::fs::read_to_string(&json).unwrap();
+        assert!(record.contains("\"bench\": \"serve-loadgen\""), "{record}");
+        assert!(record.contains("\"tenants\": 6"), "{record}");
+
+        // Mirror mode: the wire-paced export equals the offline bytes.
+        let wire = dir.join("wire.jsonl");
+        let out = run_ok(
+            "loadgen",
+            &[
+                "--addr",
+                &addr,
+                "--mirror",
+                "--seed",
+                "7",
+                "--minutes",
+                "3",
+                "--metrics-out",
+                wire.to_str().unwrap(),
+            ],
+        );
+        assert!(out.contains("wire export written"), "{out}");
+        let offline = bz_bench::sweep::run_one(&bz_bench::sweep::RunSpec {
+            index: 0,
+            scenario: bz_bench::sweep::Scenario::Trial,
+            seed: 7,
+            minutes: 3,
+            params: Vec::new(),
+        })
+        .unwrap();
+        assert_eq!(std::fs::read(&wire).unwrap(), offline.metrics_jsonl);
+
+        handle.request_shutdown();
+        thread.join().unwrap().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn loadgen_rejects_bad_inputs() {
+        for flags in [
+            vec!["--tenants", "0"],
+            vec!["--mirror"],
+            vec!["--check", "--tenants", "1"],
+            vec![
+                "--addr",
+                "127.0.0.1:1",
+                "--tenants",
+                "1",
+                "--connections",
+                "1",
+            ],
+        ] {
+            let raw: Vec<String> = flags.iter().map(|s| (*s).to_owned()).collect();
+            assert!(run("loadgen", raw).is_err(), "{flags:?} should fail");
+        }
     }
 
     #[test]

@@ -54,6 +54,7 @@ pub mod metrics;
 pub mod pid;
 pub mod radiant;
 pub mod scenario;
+pub mod session;
 pub mod strategy;
 pub mod supervisor;
 pub mod system;

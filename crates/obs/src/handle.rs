@@ -215,6 +215,25 @@ impl Handle {
         self.with_registry(|registry| registry.write_jsonl(out))
     }
 
+    /// Number of events currently buffered (see
+    /// [`Registry::events_len`]).
+    #[must_use]
+    pub fn events_len(&self) -> usize {
+        self.with_registry(|registry| registry.events_len())
+    }
+
+    /// Writes buffered events from index `from` onward as JSONL lines and
+    /// returns the new cursor (see [`Registry::write_events_from`]). This
+    /// is the incremental telemetry tap: each tenant stream reader holds
+    /// its own cursor and polls for the lines recorded since.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from `out`.
+    pub fn write_events_from<W: Write>(&self, from: usize, out: W) -> io::Result<usize> {
+        self.with_registry(|registry| registry.write_events_from(from, out))
+    }
+
     /// Switches this handle's registry to streaming JSONL export: events
     /// are written to `sink` as they are recorded instead of being
     /// buffered (see [`Registry::stream_to`]). Pass a buffered writer —

@@ -246,6 +246,33 @@ impl Registry {
         }
     }
 
+    /// Number of events currently buffered. Together with
+    /// [`Registry::write_events_from`] this is the cursor space of the
+    /// incremental tap: a reader that saw `events_len()` events is fully
+    /// caught up.
+    #[must_use]
+    pub fn events_len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Writes the buffered events starting at index `from` as JSONL lines
+    /// (the same bytes [`Registry::write_jsonl`] would emit for them) and
+    /// returns the new cursor — the index just past the last event
+    /// written. A `from` beyond the buffer writes nothing and returns the
+    /// current length, so a reader can poll with its last cursor
+    /// unconditionally. This is the incremental per-tenant telemetry tap
+    /// behind `bzctl serve`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from `out`.
+    pub fn write_events_from<W: Write>(&self, from: usize, mut out: W) -> io::Result<usize> {
+        for event in self.events.iter().skip(from) {
+            write_event_line(&mut out, event)?;
+        }
+        Ok(self.events.len())
+    }
+
     /// An owned copy of everything the registry holds.
     #[must_use]
     pub fn snapshot(&self) -> Snapshot {
@@ -825,6 +852,29 @@ mod tests {
         let mut registry = Registry::new();
         registry.stream_to(Box::new(Vec::new()));
         registry.save_state(&mut bz_state::Writer::new());
+    }
+
+    #[test]
+    fn incremental_tap_reassembles_the_event_stream() {
+        let mut registry = Registry::new();
+        record_sample(&mut registry);
+        let cursor = registry.events_len();
+        let mut first = Vec::new();
+        assert_eq!(registry.write_events_from(0, &mut first).unwrap(), cursor);
+        registry.gauge_set("late", 70_000, 1.0);
+        let mut second = Vec::new();
+        let next = registry.write_events_from(cursor, &mut second).unwrap();
+        assert_eq!(next, cursor + 1);
+        // Catching up past the end is a clean no-op.
+        let mut empty = Vec::new();
+        assert_eq!(registry.write_events_from(next, &mut empty).unwrap(), next);
+        assert!(empty.is_empty());
+        // The tapped chunks concatenate to exactly the buffered event
+        // lines of the full export.
+        let mut full = Vec::new();
+        registry.write_jsonl(&mut full).unwrap();
+        let tapped = [first, second].concat();
+        assert!(full.starts_with(&tapped));
     }
 
     #[test]

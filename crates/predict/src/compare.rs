@@ -300,6 +300,14 @@ impl StrategySession {
         self.second * 1_000
     }
 
+    /// The session's isolated metrics handle — the registry the export in
+    /// [`StrategySession::finish`] is rendered from. The serving layer
+    /// taps this for incremental per-tenant telemetry.
+    #[must_use]
+    pub fn obs(&self) -> &bz_obs::Handle {
+        &self.obs
+    }
+
     /// True once the scenario duration has fully run.
     #[must_use]
     pub fn is_done(&self) -> bool {

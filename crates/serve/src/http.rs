@@ -1,0 +1,384 @@
+//! A minimal, dependency-free HTTP/1.1 codec.
+//!
+//! The workspace is offline (no tokio/hyper), so the server hand-rolls
+//! exactly the slice of HTTP it needs: request-line + headers parsing,
+//! `Content-Length`-framed bodies, keep-alive, and fixed-status
+//! responses. The codec is deliberately strict — malformed framing is an
+//! error, never a guess — because the load generator drives it at tens of
+//! thousands of requests per second and a desynchronized connection would
+//! corrupt every later exchange on it.
+
+use std::io::{self, BufRead, Write};
+
+/// Largest accepted header section, bytes (request line + all headers).
+pub const MAX_HEADER_BYTES: usize = 16 * 1024;
+
+/// Largest accepted request body, bytes. Snapshot uploads of big tenants
+/// are a few MB; this leaves generous headroom without letting one
+/// connection exhaust memory.
+pub const MAX_BODY_BYTES: usize = 256 * 1024 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method, uppercase (`GET`, `POST`, `DELETE`, …).
+    pub method: String,
+    /// Decoded path component of the target (no query string).
+    pub path: String,
+    /// Query parameters in document order.
+    pub query: Vec<(String, String)>,
+    /// Header `(name, value)` pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty without a `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of header `name` (lowercase), if present.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First value of query parameter `name`, if present.
+    #[must_use]
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to close the connection after this
+    /// exchange (HTTP/1.1 defaults to keep-alive).
+    #[must_use]
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Reads one request off `reader`. Returns `Ok(None)` on a clean EOF
+/// before any request bytes (the peer closed an idle keep-alive
+/// connection), an error for malformed or oversized framing.
+///
+/// # Errors
+///
+/// Returns an [`io::Error`] for transport failures, torn requests, and
+/// protocol violations (bad request line, oversized headers/body,
+/// unparsable `Content-Length`).
+pub fn read_request<R: BufRead>(reader: &mut R) -> io::Result<Option<Request>> {
+    let Some(request_line) = read_header_line(reader, true)? else {
+        return Ok(None);
+    };
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => return Err(bad(format!("malformed request line '{request_line}'"))),
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(bad(format!("unsupported protocol version '{version}'")));
+    }
+
+    let mut headers = Vec::new();
+    let mut header_bytes = request_line.len();
+    loop {
+        let Some(line) = read_header_line(reader, false)? else {
+            return Err(bad("connection closed mid-headers"));
+        };
+        if line.is_empty() {
+            break;
+        }
+        header_bytes += line.len();
+        if header_bytes > MAX_HEADER_BYTES {
+            return Err(bad("header section too large"));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(bad(format!("malformed header line '{line}'")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+
+    let content_length = match headers.iter().find(|(k, _)| k == "content-length") {
+        Some((_, v)) => v
+            .parse::<usize>()
+            .map_err(|_| bad(format!("unparsable content-length '{v}'")))?,
+        None => 0,
+    };
+    if content_length > MAX_BODY_BYTES {
+        return Err(bad(format!(
+            "request body of {content_length} bytes exceeds the limit"
+        )));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+
+    let (path, query) = match target.split_once('?') {
+        Some((path, query)) => (path, parse_query(query)),
+        None => (target, Vec::new()),
+    };
+    Ok(Some(Request {
+        method: method.to_ascii_uppercase(),
+        path: path.to_owned(),
+        query,
+        headers,
+        body,
+    }))
+}
+
+/// Reads one CRLF- (or LF-) terminated header line. `Ok(None)` on EOF;
+/// `at_start` makes EOF-before-bytes a clean `None` instead of an error.
+fn read_header_line<R: BufRead>(reader: &mut R, at_start: bool) -> io::Result<Option<String>> {
+    let mut line = Vec::with_capacity(64);
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte)? {
+            0 => {
+                if line.is_empty() && at_start {
+                    return Ok(None);
+                }
+                return if line.is_empty() {
+                    Ok(None)
+                } else {
+                    Err(bad("connection closed mid-line"))
+                };
+            }
+            _ => {
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    return String::from_utf8(line)
+                        .map(Some)
+                        .map_err(|_| bad("non-UTF-8 header line"));
+                }
+                if line.len() >= MAX_HEADER_BYTES {
+                    return Err(bad("header line too long"));
+                }
+                line.push(byte[0]);
+            }
+        }
+    }
+}
+
+fn parse_query(query: &str) -> Vec<(String, String)> {
+    query
+        .split('&')
+        .filter(|pair| !pair.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (k.to_owned(), v.to_owned()),
+            None => (pair.to_owned(), String::new()),
+        })
+        .collect()
+}
+
+fn bad(message: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message.into())
+}
+
+/// One response ready to serialize.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Extra `(name, value)` headers.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response from already-serialized text.
+    #[must_use]
+    pub fn json(status: u16, body: String) -> Self {
+        Self {
+            status,
+            content_type: "application/json",
+            headers: Vec::new(),
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A newline-delimited-JSON (JSONL) response.
+    #[must_use]
+    pub fn jsonl(status: u16, body: Vec<u8>) -> Self {
+        Self {
+            status,
+            content_type: "application/x-ndjson",
+            headers: Vec::new(),
+            body,
+        }
+    }
+
+    /// A binary response (snapshot downloads).
+    #[must_use]
+    pub fn octets(status: u16, body: Vec<u8>) -> Self {
+        Self {
+            status,
+            content_type: "application/octet-stream",
+            headers: Vec::new(),
+            body,
+        }
+    }
+
+    /// An error response: `{"error": "<message>"}`.
+    #[must_use]
+    pub fn error(status: u16, message: &str) -> Self {
+        Self::json(
+            status,
+            format!("{{\"error\":\"{}\"}}", json_escape(message)),
+        )
+    }
+
+    /// Adds a header and returns the response (builder style).
+    #[must_use]
+    pub fn with_header(mut self, name: &str, value: String) -> Self {
+        self.headers.push((name.to_owned(), value));
+        self
+    }
+
+    /// Serializes the response onto `writer`, announcing keep-alive or
+    /// close per `keep_alive`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any transport error.
+    pub fn write_to<W: Write>(&self, writer: &mut W, keep_alive: bool) -> io::Result<()> {
+        write!(
+            writer,
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
+            self.status,
+            status_text(self.status),
+            self.content_type,
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        )?;
+        for (name, value) in &self.headers {
+            write!(writer, "{name}: {value}\r\n")?;
+        }
+        writer.write_all(b"\r\n")?;
+        writer.write_all(&self.body)?;
+        writer.flush()
+    }
+}
+
+/// The reason phrase for the status codes this server emits.
+#[must_use]
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        204 => "No Content",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Escapes `text` for embedding in a JSON string literal.
+#[must_use]
+pub fn json_escape(text: &str) -> String {
+    let mut escaped = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '"' => escaped.push_str("\\\""),
+            '\\' => escaped.push_str("\\\\"),
+            '\n' => escaped.push_str("\\n"),
+            '\r' => escaped.push_str("\\r"),
+            '\t' => escaped.push_str("\\t"),
+            c if (c as u32) < 0x20 => escaped.push_str(&format!("\\u{:04x}", c as u32)),
+            c => escaped.push(c),
+        }
+    }
+    escaped
+}
+
+/// Formats an `f64` as a JSON number (`null` for non-finite values).
+#[must_use]
+pub fn json_f64(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(text: &str) -> io::Result<Option<Request>> {
+        read_request(&mut BufReader::new(text.as_bytes()))
+    }
+
+    #[test]
+    fn parses_a_request_with_body_and_query() {
+        let request = parse(
+            "POST /tenants/t1/step?minutes=5&dry= HTTP/1.1\r\n\
+             Host: x\r\nContent-Length: 4\r\n\r\nbody",
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(request.method, "POST");
+        assert_eq!(request.path, "/tenants/t1/step");
+        assert_eq!(request.query_param("minutes"), Some("5"));
+        assert_eq!(request.query_param("dry"), Some(""));
+        assert_eq!(request.header("host"), Some("x"));
+        assert_eq!(request.body, b"body");
+        assert!(!request.wants_close());
+    }
+
+    #[test]
+    fn keep_alive_reads_back_to_back_requests() {
+        let text = "GET /healthz HTTP/1.1\r\n\r\nGET /stats HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let mut reader = BufReader::new(text.as_bytes());
+        let first = read_request(&mut reader).unwrap().unwrap();
+        assert_eq!(first.path, "/healthz");
+        let second = read_request(&mut reader).unwrap().unwrap();
+        assert_eq!(second.path, "/stats");
+        assert!(second.wants_close());
+        assert!(read_request(&mut reader).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn malformed_framing_is_an_error_not_a_guess() {
+        assert!(parse("GARBAGE\r\n\r\n").is_err());
+        assert!(parse("GET /x SPDY/3\r\n\r\n").is_err());
+        assert!(parse("GET /x HTTP/1.1\r\nbad header\r\n\r\n").is_err());
+        assert!(parse("GET /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n").is_err());
+        // Torn body: declared 10, only 4 present.
+        assert!(parse("POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nbody").is_err());
+    }
+
+    #[test]
+    fn response_round_trips_through_the_parser_shape() {
+        let mut wire = Vec::new();
+        Response::json(200, "{\"ok\":true}".to_owned())
+            .with_header("x-bz-cursor", "17".to_owned())
+            .write_to(&mut wire, true)
+            .unwrap();
+        let text = String::from_utf8(wire).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("content-length: 11\r\n"), "{text}");
+        assert!(text.contains("connection: keep-alive\r\n"), "{text}");
+        assert!(text.contains("x-bz-cursor: 17\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"), "{text}");
+    }
+
+    #[test]
+    fn error_bodies_escape_the_message() {
+        let response = Response::error(400, "bad \"name\"");
+        assert_eq!(response.body, b"{\"error\":\"bad \\\"name\\\"\"}");
+    }
+}

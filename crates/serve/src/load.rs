@@ -1,0 +1,225 @@
+//! The `bzctl loadgen` driver: closed-loop load against a running
+//! `bzctl serve` instance.
+//!
+//! Two modes share the connection machinery:
+//!
+//! * [`run`] — the load test: create `tenants` simulated buildings,
+//!   then drive them all to `minutes_per_tenant` with `connections`
+//!   closed-loop clients, timing every request. The percentile summary
+//!   and the `BENCH_0010.json` record come from [`bz_bench::load`].
+//! * [`mirror`] — the determinism probe: create ONE tenant, drive it to
+//!   completion over the wire, download its JSONL export. CI diffs the
+//!   result byte-for-byte against the same scenario run offline with
+//!   `bzctl trial`.
+
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use bz_bench::load::{summarize, LoadReport};
+
+use crate::client::Client;
+
+/// Load-test parameters.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server address, e.g. `127.0.0.1:7033`.
+    pub addr: String,
+    /// Tenants to create and drive.
+    pub tenants: usize,
+    /// Closed-loop client connections.
+    pub connections: usize,
+    /// Simulated minutes to advance each tenant.
+    pub minutes_per_tenant: u64,
+    /// Seed of tenant 0 (tenant `i` uses `seed_base + i`).
+    pub seed_base: u64,
+    /// Simulated minutes per step request.
+    pub step_minutes: u64,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7033".to_owned(),
+            tenants: 1_000,
+            connections: 16,
+            minutes_per_tenant: 2,
+            seed_base: 0x10AD_0001,
+            step_minutes: 1,
+        }
+    }
+}
+
+/// Runs the closed-loop load test and reports latency percentiles.
+///
+/// Tenants are named `lg-<i>` and left on the server afterwards (so a
+/// follow-up `/stats` or shutdown checkpoint still sees them); rerunning
+/// against the same server continues the same tenants if their config
+/// matches, and fails on create conflicts otherwise.
+///
+/// # Errors
+///
+/// Returns connection errors and unexpected (non-200/429) statuses.
+pub fn run(config: &LoadgenConfig) -> io::Result<LoadReport> {
+    let tenants = config.tenants.max(1);
+    let connections = config.connections.max(1).min(tenants);
+    let minutes = config.minutes_per_tenant.max(1);
+    let step = config.step_minutes.max(1);
+
+    // Phase 1: create all tenants, sharded across the connections.
+    fan_out(connections, tenants, |_, range| {
+        let mut client = Client::connect(&config.addr)?;
+        for i in range {
+            let body = format!(
+                "{{\"name\":\"lg-{i}\",\"scenario\":\"trial\",\"seed\":{},\"minutes\":{minutes}}}",
+                config.seed_base + i as u64
+            );
+            let response = client.request("POST", "/tenants", body.as_bytes())?;
+            // 409 = the tenant survived an earlier loadgen run; fine.
+            if response.status != 201 && response.status != 409 {
+                return Err(io::Error::other(format!(
+                    "creating lg-{i}: HTTP {}: {}",
+                    response.status,
+                    response.text()
+                )));
+            }
+        }
+        Ok(Vec::new())
+    })?;
+
+    // Phase 2: drive every tenant to the target, timing each request.
+    let shed = Arc::new(AtomicU64::new(0));
+    let advanced = Arc::new(AtomicU64::new(0));
+    let started = Instant::now();
+    let per_thread = fan_out(connections, tenants, |_, range| {
+        let mut client = Client::connect(&config.addr)?;
+        let mut samples = Vec::new();
+        let mut pending: Vec<usize> = range.collect();
+        while !pending.is_empty() {
+            let mut still_pending = Vec::new();
+            for i in pending {
+                let body = format!("{{\"minutes\":{step}}}");
+                let begin = Instant::now();
+                let response =
+                    client.request("POST", &format!("/tenants/lg-{i}/step"), body.as_bytes())?;
+                samples.push(u64::try_from(begin.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                match response.status {
+                    200 => {
+                        let text = response.text();
+                        if let Some(stepped) = field_u64(&text, "stepped") {
+                            advanced.fetch_add(stepped, Ordering::Relaxed);
+                        }
+                        if !text.contains("\"done\":true") {
+                            still_pending.push(i);
+                        }
+                    }
+                    429 => {
+                        shed.fetch_add(1, Ordering::Relaxed);
+                        still_pending.push(i); // retry next round
+                    }
+                    other => {
+                        return Err(io::Error::other(format!(
+                            "stepping lg-{i}: HTTP {other}: {}",
+                            response.text()
+                        )))
+                    }
+                }
+            }
+            pending = still_pending;
+        }
+        Ok(samples)
+    })?;
+    let wall_seconds = started.elapsed().as_secs_f64();
+
+    let mut samples: Vec<u64> = per_thread.into_iter().flatten().collect();
+    let requests = samples.len() as u64;
+    Ok(LoadReport {
+        tenants,
+        connections,
+        minutes_per_tenant: minutes,
+        requests,
+        shed: shed.load(Ordering::Relaxed),
+        wall_seconds,
+        requests_per_second: if wall_seconds > 0.0 {
+            requests as f64 / wall_seconds
+        } else {
+            0.0
+        },
+        sim_minutes: advanced.load(Ordering::Relaxed),
+        latency: summarize(&mut samples),
+    })
+}
+
+/// Drives one `trial` tenant to completion over the wire and returns
+/// its full JSONL export — the bytes CI diffs against `bzctl trial`.
+///
+/// # Errors
+///
+/// Returns connection errors and non-2xx statuses.
+pub fn mirror(addr: &str, seed: u64, minutes: u64, name: &str) -> io::Result<Vec<u8>> {
+    let mut client = Client::connect(addr)?;
+    client.post_ok(
+        "/tenants",
+        &format!(
+            "{{\"name\":\"{name}\",\"scenario\":\"trial\",\"seed\":{seed},\"minutes\":{minutes}}}"
+        ),
+    )?;
+    // Mixed pacing on purpose: single steps, then a bulk advance — the
+    // export must not depend on how the wire paced the run.
+    client.post_ok(&format!("/tenants/{name}/step"), "{\"minutes\":1}")?;
+    client.post_ok(&format!("/tenants/{name}/advance"), "")?;
+    Ok(client.get_ok(&format!("/tenants/{name}/metrics"))?.body)
+}
+
+/// Splits `items` across `threads` workers, runs `work(thread, range)`
+/// on each, joins, and concatenates the per-thread sample vectors.
+fn fan_out(
+    threads: usize,
+    items: usize,
+    work: impl Fn(usize, std::ops::Range<usize>) -> io::Result<Vec<u64>> + Send + Sync,
+) -> io::Result<Vec<Vec<u64>>> {
+    let results: Vec<io::Result<Vec<u64>>> = std::thread::scope(|scope| {
+        let work = &work;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let lo = items * t / threads;
+                let hi = items * (t + 1) / threads;
+                scope.spawn(move || work(t, lo..hi))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("loadgen worker"))
+            .collect()
+    });
+    let mut collected = Vec::with_capacity(results.len());
+    for result in results {
+        collected.push(result?);
+    }
+    Ok(collected)
+}
+
+/// Extracts `"field":N` from a flat JSON object (loadgen replies are
+/// simple enough that full parsing would be overhead in the hot loop).
+fn field_u64(text: &str, field: &str) -> Option<u64> {
+    let needle = format!("\"{field}\":");
+    let rest = &text[text.find(&needle)? + needle.len()..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_extraction_reads_flat_replies() {
+        let text = "{\"stepped\":3,\"minute\":5,\"done\":false}";
+        assert_eq!(field_u64(text, "stepped"), Some(3));
+        assert_eq!(field_u64(text, "minute"), Some(5));
+        assert_eq!(field_u64(text, "missing"), None);
+    }
+}

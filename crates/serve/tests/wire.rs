@@ -1,0 +1,301 @@
+//! End-to-end tests over a real TCP socket: the determinism contract
+//! (wire-driven tenants export the offline bytes), snapshot/restore
+//! across server instances, backpressure shedding, and graceful
+//! shutdown with final checkpoints.
+
+use std::net::SocketAddr;
+use std::thread::JoinHandle;
+
+use bz_serve::server::ShutdownReport;
+use bz_serve::{Client, ServeConfig, Server};
+
+/// A server running on its own thread, torn down via the shutdown
+/// handle when the test is done.
+struct TestServer {
+    addr: SocketAddr,
+    handle: bz_serve::server::ShutdownHandle,
+    thread: JoinHandle<std::io::Result<ShutdownReport>>,
+}
+
+fn start(config: ServeConfig) -> TestServer {
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        quiet: true,
+        ..config
+    })
+    .expect("binding a loopback listener");
+    let addr = server.local_addr();
+    let handle = server.shutdown_handle();
+    let thread = std::thread::spawn(move || server.run());
+    TestServer {
+        addr,
+        handle,
+        thread,
+    }
+}
+
+impl TestServer {
+    fn client(&self) -> Client {
+        Client::connect(self.addr).expect("connecting to the test server")
+    }
+
+    fn stop(self) -> ShutdownReport {
+        self.handle.request_shutdown();
+        self.thread
+            .join()
+            .expect("server thread")
+            .expect("clean shutdown")
+    }
+}
+
+#[test]
+fn wire_driven_tenant_exports_the_offline_bytes() {
+    let server = start(ServeConfig::default());
+    let mut client = server.client();
+
+    client
+        .post_ok(
+            "/tenants",
+            "{\"name\":\"det\",\"scenario\":\"trial\",\"seed\":7,\"minutes\":5}",
+        )
+        .unwrap();
+    // Drive it over the wire in mixed-size steps.
+    client
+        .post_ok("/tenants/det/step", "{\"minutes\":2}")
+        .unwrap();
+    client
+        .post_ok("/tenants/det/advance", "{\"to_minute\":5}")
+        .unwrap();
+    let status = client.get_ok("/tenants/det").unwrap().text();
+    assert!(status.contains("\"done\":true"), "{status}");
+    let wire = client.get_ok("/tenants/det/metrics").unwrap().body;
+
+    let offline = bz_bench::sweep::run_one(&bz_bench::sweep::RunSpec {
+        index: 0,
+        scenario: bz_bench::sweep::Scenario::Trial,
+        seed: 7,
+        minutes: 5,
+        params: Vec::new(),
+    })
+    .unwrap();
+    assert_eq!(
+        wire, offline.metrics_jsonl,
+        "wire pacing must not change a single exported byte"
+    );
+    server.stop();
+}
+
+#[test]
+fn snapshot_restores_across_server_instances() {
+    let source = start(ServeConfig::default());
+    let spec = "{\"name\":\"mig\",\"scenario\":\"trial\",\"seed\":11,\"minutes\":4}";
+    let mut client = source.client();
+    client.post_ok("/tenants", spec).unwrap();
+    client
+        .post_ok("/tenants/mig/step", "{\"minutes\":2}")
+        .unwrap();
+    let snapshot = client.get_ok("/tenants/mig/snapshot").unwrap();
+    let crc = snapshot.header("x-bz-config-crc").unwrap().to_owned();
+    let envelope = snapshot.body;
+    source.stop();
+
+    // A brand-new server instance: create the same config, restore the
+    // envelope, finish the run.
+    let target = start(ServeConfig::default());
+    let mut client = target.client();
+    let created = client.post_ok("/tenants", spec).unwrap().text();
+    assert!(created.contains(&crc), "same config ⇒ same identity CRC");
+    let restored = client
+        .request("POST", "/tenants/mig/restore", &envelope)
+        .unwrap();
+    assert_eq!(restored.status, 200, "{}", restored.text());
+    assert!(restored.text().contains("\"minute\":2"));
+    client.post_ok("/tenants/mig/advance", "").unwrap();
+    let migrated = client.get_ok("/tenants/mig/metrics").unwrap().body;
+    target.stop();
+
+    let offline = bz_bench::sweep::run_one(&bz_bench::sweep::RunSpec {
+        index: 0,
+        scenario: bz_bench::sweep::Scenario::Trial,
+        seed: 11,
+        minutes: 4,
+        params: Vec::new(),
+    })
+    .unwrap();
+    assert_eq!(
+        migrated, offline.metrics_jsonl,
+        "a restore over the wire must continue byte-identically"
+    );
+}
+
+#[test]
+fn restore_refuses_a_snapshot_of_a_different_config() {
+    let server = start(ServeConfig::default());
+    let mut client = server.client();
+    client
+        .post_ok("/tenants", "{\"name\":\"a\",\"seed\":1,\"minutes\":3}")
+        .unwrap();
+    client
+        .post_ok("/tenants", "{\"name\":\"b\",\"seed\":2,\"minutes\":3}")
+        .unwrap();
+    let envelope = client.get_ok("/tenants/a/snapshot").unwrap().body;
+    let refused = client
+        .request("POST", "/tenants/b/restore", &envelope)
+        .unwrap();
+    assert_eq!(refused.status, 409, "{}", refused.text());
+    assert!(refused.text().contains("different configuration"));
+    server.stop();
+}
+
+#[test]
+fn telemetry_tap_pages_through_the_event_stream() {
+    let server = start(ServeConfig::default());
+    let mut client = server.client();
+    client
+        .post_ok("/tenants", "{\"name\":\"t\",\"seed\":3,\"minutes\":3}")
+        .unwrap();
+    client
+        .post_ok("/tenants/t/step", "{\"minutes\":1}")
+        .unwrap();
+    let first = client.get_ok("/tenants/t/telemetry?from=0").unwrap();
+    let cursor: usize = first.header("x-bz-next-cursor").unwrap().parse().unwrap();
+    assert!(cursor > 0);
+    assert!(!first.body.is_empty());
+
+    client.post_ok("/tenants/t/advance", "").unwrap();
+    let rest = client
+        .get_ok(&format!("/tenants/t/telemetry?from={cursor}"))
+        .unwrap();
+    let full = client.get_ok("/tenants/t/metrics").unwrap().body;
+    let mut stitched = first.body.clone();
+    stitched.extend_from_slice(&rest.body);
+    assert!(
+        full.starts_with(&stitched),
+        "paged telemetry must reassemble into the export's event prefix"
+    );
+    server.stop();
+}
+
+#[test]
+fn shutdown_writes_final_checkpoints() {
+    let dir = std::env::temp_dir().join(format!("bz-serve-shutdown-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let server = start(ServeConfig {
+        checkpoint_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    });
+    let mut client = server.client();
+    client
+        .post_ok("/tenants", "{\"name\":\"ck-1\",\"seed\":5,\"minutes\":3}")
+        .unwrap();
+    client
+        .post_ok("/tenants", "{\"name\":\"ck-2\",\"seed\":6,\"minutes\":3}")
+        .unwrap();
+    client
+        .post_ok("/tenants/ck-1/step", "{\"minutes\":2}")
+        .unwrap();
+    // Shutdown over the wire, like an operator would.
+    client.post_ok("/admin/shutdown", "").unwrap();
+    let report = server.thread.join().unwrap().unwrap();
+    assert_eq!(report.tenants, 2);
+    assert_eq!(report.checkpoints.len(), 2);
+
+    let envelope = bz_state::Checkpoint::read(&dir.join("tenant-ck-1.bzck")).unwrap();
+    assert_eq!(envelope.meta.kind, "serve");
+    assert_eq!(envelope.meta.tick_ms, 120_000, "checkpointed mid-run state");
+    assert!(envelope.meta.label.contains("noise="));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn admission_bound_sheds_with_429_under_load() {
+    let server = start(ServeConfig {
+        max_inflight: 1,
+        threads: 8,
+        ..ServeConfig::default()
+    });
+    let mut client = server.client();
+    client
+        .post_ok(
+            "/tenants",
+            "{\"name\":\"hot\",\"scenario\":\"trial\",\"seed\":9,\"minutes\":60}",
+        )
+        .unwrap();
+
+    // Hammer one tenant from several connections; with a bound of one
+    // in-flight request, some must be shed with 429 and the server must
+    // stay consistent throughout.
+    let addr = server.addr;
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let mut shed = 0u64;
+                for _ in 0..20 {
+                    let response = client
+                        .request("POST", "/tenants/hot/step", b"{\"minutes\":1}")
+                        .unwrap();
+                    match response.status {
+                        200 => {}
+                        429 => shed += 1,
+                        other => panic!("unexpected status {other}: {}", response.text()),
+                    }
+                }
+                shed
+            })
+        })
+        .collect();
+    let shed: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    assert!(
+        shed > 0,
+        "4 hammering connections against a bound of 1 must shed"
+    );
+
+    let stats = client.get_ok("/stats").unwrap().text();
+    assert!(stats.contains(&format!("\"shed\":{shed}")), "{stats}");
+    server.stop();
+}
+
+#[test]
+fn unknown_routes_and_tenants_are_clean_errors() {
+    let server = start(ServeConfig::default());
+    let mut client = server.client();
+    assert_eq!(client.request("GET", "/nope", b"").unwrap().status, 404);
+    assert_eq!(
+        client.request("GET", "/tenants/ghost", b"").unwrap().status,
+        404
+    );
+    assert_eq!(
+        client
+            .request("PATCH", "/tenants/ghost", b"")
+            .unwrap()
+            .status,
+        404
+    );
+    let bad = client.request("POST", "/tenants", b"{").unwrap();
+    assert_eq!(bad.status, 400);
+    client
+        .post_ok("/tenants", "{\"name\":\"x\",\"seed\":1,\"minutes\":2}")
+        .unwrap();
+    assert_eq!(
+        client.request("PATCH", "/tenants/x", b"").unwrap().status,
+        405
+    );
+    let dup = client
+        .request(
+            "POST",
+            "/tenants",
+            b"{\"name\":\"x\",\"seed\":1,\"minutes\":2}",
+        )
+        .unwrap();
+    assert_eq!(dup.status, 409);
+    assert_eq!(
+        client.request("DELETE", "/tenants/x", b"").unwrap().status,
+        204
+    );
+    assert_eq!(
+        client.request("GET", "/tenants/x", b"").unwrap().status,
+        404
+    );
+    server.stop();
+}

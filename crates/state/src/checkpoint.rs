@@ -353,7 +353,31 @@ impl Checkpoint {
         let bytes = fs::read(path).map_err(|e| CheckpointError::io(path, e))?;
         Self::decode(path, &bytes)
     }
+
+    /// Serializes the envelope for transmission over a network connection.
+    /// The bytes are exactly the on-disk format ([`Checkpoint::encode`]),
+    /// so a snapshot downloaded from a server can be written to a file
+    /// and inspected or resumed like any local checkpoint.
+    #[must_use]
+    pub fn to_wire_bytes(&self) -> Vec<u8> {
+        self.encode()
+    }
+
+    /// Validates and decodes an envelope that arrived over a network
+    /// connection; errors carry [`WIRE_PATH`] instead of a file path.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the validation layers of [`Checkpoint::decode`]: magic,
+    /// format version, truncation, CRC-64, and meta decode.
+    pub fn from_wire_bytes(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        Self::decode(Path::new(WIRE_PATH), bytes)
+    }
 }
+
+/// Pseudo-path reported in [`CheckpointError`]s for envelopes that came
+/// over the wire rather than from a file.
+pub const WIRE_PATH: &str = "(wire)";
 
 /// The temp-file sibling a checkpoint is staged in before the rename.
 #[must_use]
@@ -455,6 +479,19 @@ mod tests {
         assert_eq!(Checkpoint::read(&path).unwrap(), ckpt);
         assert!(!tmp_sibling(&path).exists(), "temp file must be gone");
         fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wire_round_trip_matches_the_disk_format() {
+        let ckpt = sample();
+        let wire = ckpt.to_wire_bytes();
+        assert_eq!(wire, ckpt.encode(), "wire bytes are the disk format");
+        assert_eq!(Checkpoint::from_wire_bytes(&wire).unwrap(), ckpt);
+        let mut corrupt = wire;
+        let mid = corrupt.len() / 2;
+        corrupt[mid] ^= 0xFF;
+        let err = Checkpoint::from_wire_bytes(&corrupt).unwrap_err();
+        assert!(err.to_string().contains(WIRE_PATH), "{err}");
     }
 
     #[test]

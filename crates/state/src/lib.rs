@@ -25,6 +25,8 @@ pub mod codec;
 pub mod crc64;
 pub mod dir;
 
-pub use checkpoint::{Checkpoint, CheckpointError, CheckpointMeta, FORMAT_VERSION, MAGIC};
+pub use checkpoint::{
+    Checkpoint, CheckpointError, CheckpointMeta, FORMAT_VERSION, MAGIC, WIRE_PATH,
+};
 pub use codec::{Persist, Reader, StateError, Writer};
 pub use dir::{CheckpointDir, ScanOutcome, SkippedCheckpoint};
